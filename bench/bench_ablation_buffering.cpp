@@ -1,0 +1,83 @@
+// Ablation of a simulator modeling choice DESIGN.md calls out: worker
+// receive-buffer depth. Capacity 1 is the classic double-buffered front end
+// (a send to a full worker blocks the uplink — rendezvous semantics);
+// SIZE_MAX is the idealized infinitely-buffered worker. The blocking model
+// is what makes precalculated in-order schedules fragile under prediction
+// error and gives RUMR's out-of-order phase 1 its measurable edge.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/rumr.hpp"
+#include "core/umr_policy.hpp"
+#include "report/table.hpp"
+#include "sim/master_worker.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumr;
+  const bench::BenchSettings settings = bench::parse_settings(argc, argv);
+  sweep::GridSpec grid;
+  grid.n_values = {10, 30};
+  grid.b_over_n_values = {1.4, 1.8};
+  grid.clat_values = {0.1, 0.5};
+  grid.nlat_values = {0.1, 0.5};
+  const std::vector<double> errors = {0.0, 0.16, 0.32, 0.48};
+  const std::size_t reps = bench::bench_reps(settings, 20);
+  bench::print_banner(std::cout, "Ablation: worker buffer depth (blocking vs infinite)",
+                      settings, grid, errors.size(), reps);
+
+  const auto configs = sweep::make_grid(grid);
+  std::vector<std::string> headers = {"capacity / metric"};
+  for (double e : errors) headers.push_back("e=" + report::format_double(e, 2));
+  report::TextTable table(std::move(headers));
+
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{2}, SIZE_MAX}) {
+    std::vector<double> timed_vs_rumr(errors.size());
+    std::vector<double> eager_vs_rumr(errors.size());
+    std::vector<double> inorder_vs_ooo(errors.size());
+    for (std::size_t e = 0; e < errors.size(); ++e) {
+      stats::Accumulator timed_ratio;
+      stats::Accumulator eager_ratio;
+      stats::Accumulator order_ratio;
+      for (const auto& config : configs) {
+        const platform::StarPlatform platform = config.to_platform();
+        stats::Accumulator timed_acc;
+        stats::Accumulator eager_acc;
+        stats::Accumulator ooo_acc;
+        stats::Accumulator rumr_acc;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          sim::SimOptions options = sim::SimOptions::with_error(
+              errors[e], stats::mix_seed(0xb1f, config.n, static_cast<std::uint64_t>(e), rep));
+          options.worker_buffer_capacity = capacity;
+          core::UmrPolicy timed(platform, 1000.0, core::DispatchOrder::kTimetable);
+          timed_acc.add(simulate(platform, timed, options).makespan);
+          core::UmrPolicy eager(platform, 1000.0, core::DispatchOrder::kInOrder);
+          eager_acc.add(simulate(platform, eager, options).makespan);
+          core::UmrPolicy ooo(platform, 1000.0, core::DispatchOrder::kOutOfOrder);
+          ooo_acc.add(simulate(platform, ooo, options).makespan);
+          core::RumrOptions rumr_options;
+          rumr_options.known_error = errors[e];
+          core::RumrPolicy rumr(platform, 1000.0, std::move(rumr_options));
+          rumr_acc.add(simulate(platform, rumr, options).makespan);
+        }
+        timed_ratio.add(timed_acc.mean() / rumr_acc.mean());
+        eager_ratio.add(eager_acc.mean() / rumr_acc.mean());
+        order_ratio.add(eager_acc.mean() / ooo_acc.mean());
+      }
+      timed_vs_rumr[e] = timed_ratio.mean();
+      eager_vs_rumr[e] = eager_ratio.mean();
+      inorder_vs_ooo[e] = order_ratio.mean();
+    }
+    const std::string label = capacity == SIZE_MAX ? "inf" : std::to_string(capacity);
+    table.add_row("cap=" + label + "  UMR-timed/RUMR", timed_vs_rumr, 4);
+    table.add_row("cap=" + label + "  UMR-eager/RUMR", eager_vs_rumr, 4);
+    table.add_row("cap=" + label + "  eager/out-of-order", inorder_vs_ooo, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: the timetabled UMR (the paper's precalculated baseline) trails\n"
+               "RUMR increasingly with error; eager execution closes most of that gap\n"
+               "(pre-buffering when transfers finish early); with cap=1 out-of-order\n"
+               "dispatch adds ~1% at high error, evaporating with infinite buffers.\n";
+  return 0;
+}

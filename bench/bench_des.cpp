@@ -1,0 +1,92 @@
+// Google-benchmark microbenchmarks for the simulation substrate: raw DES
+// event throughput and full master-worker runs — the quantities that bound
+// how large a parameter sweep the harness can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rumr.hpp"
+#include "core/umr_policy.hpp"
+#include "des/simulator.hpp"
+#include "sim/master_worker.hpp"
+
+namespace {
+
+using namespace rumr;
+
+void BM_DesEventThroughput(benchmark::State& state) {
+  const auto chain = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    std::size_t remaining = chain;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) sim.schedule_in(1.0, next);
+    };
+    sim.schedule_at(0.0, next);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chain));
+}
+BENCHMARK(BM_DesEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_DesWideFanout(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulator sim;
+    for (std::size_t i = 0; i < width; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(width));
+}
+BENCHMARK(BM_DesWideFanout)->Arg(10000);
+
+platform::StarPlatform make_platform(std::size_t n) {
+  return platform::StarPlatform::homogeneous(
+      {.workers = n, .speed = 1.0, .bandwidth = 1.5 * static_cast<double>(n),
+       .comp_latency = 0.2, .comm_latency = 0.1});
+}
+
+void BM_SimulateUmr(benchmark::State& state) {
+  const platform::StarPlatform p = make_platform(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::UmrPolicy policy(p, 1000.0);
+    benchmark::DoNotOptimize(
+        simulate(p, policy, sim::SimOptions::with_error(0.3, seed++)).makespan);
+  }
+}
+BENCHMARK(BM_SimulateUmr)->Arg(10)->Arg(50);
+
+void BM_SimulateRumr(benchmark::State& state) {
+  const platform::StarPlatform p = make_platform(static_cast<std::size_t>(state.range(0)));
+  core::RumrOptions options;
+  options.known_error = 0.3;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::RumrPolicy policy(p, 1000.0, options);
+    benchmark::DoNotOptimize(
+        simulate(p, policy, sim::SimOptions::with_error(0.3, seed++)).makespan);
+  }
+}
+BENCHMARK(BM_SimulateRumr)->Arg(10)->Arg(50);
+
+void BM_SimulateWithTrace(benchmark::State& state) {
+  const platform::StarPlatform p = make_platform(10);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::UmrPolicy policy(p, 1000.0);
+    sim::SimOptions options = sim::SimOptions::with_error(0.3, seed++);
+    options.record_trace = true;
+    benchmark::DoNotOptimize(simulate(p, policy, options).trace.size());
+  }
+}
+BENCHMARK(BM_SimulateWithTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces the paper's Figure 4: mean makespan of UMR, MI-1..4, and
+// Factoring normalized to RUMR, versus the prediction-error level.
+//   (a) over the whole Table 1 parameter space;
+//   (b) over the low-latency subset cLat < 0.3, nLat < 0.3.
+// Expected shapes: UMR rises with error (and dips below 1 only at tiny
+// error); Factoring falls toward RUMR as error grows; MI-x stays well above
+// 1, decreasing over the full space (4a) but rising again once RUMR's phase
+// 2 engages in the low-latency subset (4b).
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumr;
+  const bench::BenchSettings settings = bench::parse_settings(argc, argv);
+  const auto errors = bench::bench_errors(settings);
+  const std::size_t reps = bench::bench_reps(settings, 8);
+
+  {
+    const sweep::GridSpec grid = bench::bench_grid(settings);
+    bench::print_banner(std::cout, "Figure 4(a): normalized makespan vs error, all parameters",
+                        settings, grid, errors.size(), reps);
+    const sweep::SweepResult result =
+        run_sweep(sweep::make_grid(grid), sweep::paper_competitors(),
+                  bench::bench_sweep_options(settings, errors, reps));
+    bench::emit_figure(std::cout,
+                       bench::normalized_series(result, "Figure 4(a): all Table 1 parameters"),
+                       "fig4a.csv");
+  }
+
+  {
+    // Low-latency subset. The quick grid's own low-latency slice is too
+    // coarse (only zeros), so use the paper's step inside the subset.
+    sweep::GridSpec grid = bench::bench_grid(settings);
+    if (!settings.full) {
+      grid.clat_values = {0.0, 0.1, 0.2};
+      grid.nlat_values = {0.0, 0.1, 0.2};
+    } else {
+      grid = grid.restrict_low_latency();
+    }
+    bench::print_banner(std::cout, "Figure 4(b): low-latency subset (cLat<0.3, nLat<0.3)",
+                        settings, grid, errors.size(), reps);
+    const sweep::SweepResult result =
+        run_sweep(sweep::make_grid(grid), sweep::paper_competitors(),
+                  bench::bench_sweep_options(settings, errors, reps));
+    bench::emit_figure(std::cout,
+                       bench::normalized_series(result, "Figure 4(b): cLat<0.3, nLat<0.3"),
+                       "fig4b.csv");
+  }
+  return 0;
+}

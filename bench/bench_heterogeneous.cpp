@@ -1,0 +1,92 @@
+// Extension experiment (the heterogeneity study the paper defers to its UMR
+// companion [17, 13]): scheduler performance as platform heterogeneity
+// grows. Worker speeds and link bandwidths are drawn with increasing
+// coefficients of variation; heterogeneous UMR sizes per-worker chunks so
+// rounds finish simultaneously, and greedy resource selection drops workers
+// when the aggregate compute outruns the uplink. Weighted Factoring is the
+// natural heterogeneous self-scheduling baseline.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "baselines/factoring.hpp"
+#include "baselines/loop_scheduling.hpp"
+#include "core/rumr.hpp"
+#include "core/umr.hpp"
+#include "core/umr_policy.hpp"
+#include "platform/heterogeneity.hpp"
+#include "report/table.hpp"
+#include "sim/master_worker.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumr;
+  const bench::BenchSettings settings = bench::parse_settings(argc, argv);
+  const std::size_t platforms_per_cv = settings.full ? 40 : 12;
+  const std::size_t reps = bench::bench_reps(settings, 8);
+  const double error = 0.25;
+  const std::vector<double> cvs = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::cout << "=== Heterogeneity study (extension; cf. UMR [17,13]) ===\n"
+            << platforms_per_cv << " random platforms per heterogeneity level, error = " << error
+            << ", " << reps << " repetitions each\n\n";
+
+  report::TextTable table({"speed/bandwidth CV", "UMR/RUMR", "Factoring/RUMR", "WF/RUMR",
+                           "GSS/RUMR", "selection used"});
+  for (double cv : cvs) {
+    stats::Accumulator umr_ratio;
+    stats::Accumulator factoring_ratio;
+    stats::Accumulator wf_ratio;
+    stats::Accumulator gss_ratio;
+    std::size_t selections = 0;
+    for (std::size_t draw = 0; draw < platforms_per_cv; ++draw) {
+      platform::HeterogeneityParams params;
+      params.workers = 16;
+      params.speed_cv = cv;
+      params.bandwidth_cv = cv;
+      params.bandwidth_over_ns = 1.5;
+      params.mean_comp_latency = 0.2;
+      params.mean_comm_latency = 0.1;
+      stats::Rng platform_rng(stats::mix_seed(0x4e7, static_cast<std::uint64_t>(cv * 100), draw));
+      const platform::StarPlatform p = platform::random_heterogeneous(params, platform_rng);
+      if (core::solve_umr(p, 1000.0).used_resource_selection) ++selections;
+
+      stats::Accumulator rumr_acc;
+      stats::Accumulator umr_acc;
+      stats::Accumulator factoring_acc;
+      stats::Accumulator wf_acc;
+      stats::Accumulator gss_acc;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        const sim::SimOptions options = sim::SimOptions::with_error(
+            error, stats::mix_seed(0x4e8, draw, rep));
+        core::RumrOptions rumr_options;
+        rumr_options.known_error = error;
+        core::RumrPolicy rumr(p, 1000.0, std::move(rumr_options));
+        rumr_acc.add(simulate(p, rumr, options).makespan);
+        core::UmrPolicy umr(p, 1000.0, core::DispatchOrder::kTimetable);
+        umr_acc.add(simulate(p, umr, options).makespan);
+        const auto factoring = baselines::make_factoring_policy(p, 1000.0);
+        factoring_acc.add(simulate(p, *factoring, options).makespan);
+        const auto wf = baselines::make_weighted_factoring_policy(p, 1000.0);
+        wf_acc.add(simulate(p, *wf, options).makespan);
+        const auto gss = baselines::make_gss_policy(p, 1000.0);
+        gss_acc.add(simulate(p, *gss, options).makespan);
+      }
+      umr_ratio.add(umr_acc.mean() / rumr_acc.mean());
+      factoring_ratio.add(factoring_acc.mean() / rumr_acc.mean());
+      wf_ratio.add(wf_acc.mean() / rumr_acc.mean());
+      gss_ratio.add(gss_acc.mean() / rumr_acc.mean());
+    }
+    table.add_row({report::format_double(cv, 1), report::format_double(umr_ratio.mean(), 3),
+                   report::format_double(factoring_ratio.mean(), 3),
+                   report::format_double(wf_ratio.mean(), 3),
+                   report::format_double(gss_ratio.mean(), 3),
+                   std::to_string(selections) + "/" + std::to_string(platforms_per_cv)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: RUMR stays ahead as heterogeneity grows; plain Factoring\n"
+               "degrades fastest (it ignores worker speeds entirely), Weighted Factoring\n"
+               "tracks better; resource selection engages once skewed bandwidth draws\n"
+               "push sum S_i/B_i past the full-utilization budget.\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Extension experiment: RUMR against the whole loop self-scheduling family
+// (Factoring, Weighted Factoring, GSS, TSS, FSC). The paper compares only
+// against Factoring and (unreported) FSC; this bench positions RUMR within
+// the complete classical family the robustness literature [14, 15] comes
+// from.
+
+#include <iostream>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumr;
+  const bench::BenchSettings settings = bench::parse_settings(argc, argv);
+  const sweep::GridSpec grid = bench::bench_grid(settings);
+  const auto errors = bench::bench_errors(settings, 0.08);
+  const std::size_t reps = bench::bench_reps(settings, 8);
+  bench::print_banner(std::cout, "Loop self-scheduling family vs RUMR (extension)", settings,
+                      grid, errors.size(), reps);
+
+  const sweep::SweepResult result =
+      run_sweep(sweep::make_grid(grid), sweep::loop_family_competitors(),
+                bench::bench_sweep_options(settings, errors, reps));
+
+  bench::emit_figure(std::cout,
+                     bench::normalized_series(result, "Loop self-scheduling family vs RUMR"),
+                     "loop_family.csv");
+
+  std::cout << "win percentages (RUMR outperforms, per error band):\n\n";
+  bench::print_win_table(std::cout, result, /*by_margin=*/false, {});
+  std::cout << "\nexpected: every pure self-scheduler trails RUMR — they pay per-chunk\n"
+               "latencies without UMR's overlap phase — with GSS's huge first chunks\n"
+               "hurting most at high error and FSC/TSS sitting between Factoring and GSS.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace rumr::bench {
+
+namespace {
+
+std::size_t env_size_t(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return 0;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+}  // namespace
+
+BenchSettings parse_settings(int argc, char** argv) {
+  BenchSettings settings;
+  const char* full_env = std::getenv("RUMR_FULL");
+  settings.full = full_env != nullptr && std::strcmp(full_env, "0") != 0;
+  settings.reps_override = env_size_t("RUMR_REPS");
+  settings.threads = env_size_t("RUMR_THREADS");
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) settings.full = true;
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      settings.reps_override = static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      settings.threads = static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  return settings;
+}
+
+sweep::GridSpec bench_grid(const BenchSettings& settings) {
+  if (settings.full) return sweep::GridSpec::paper_full();
+  sweep::GridSpec spec;
+  spec.n_values = {10, 30, 50};
+  spec.b_over_n_values = {1.2, 1.6, 2.0};
+  spec.clat_values = {0.0, 0.3, 0.7, 1.0};
+  spec.nlat_values = {0.0, 0.3, 0.7, 1.0};
+  return spec;
+}
+
+std::vector<double> bench_errors(const BenchSettings& settings, double quick_step) {
+  return sweep::error_axis(0.48, settings.full ? 0.02 : quick_step);
+}
+
+std::size_t bench_reps(const BenchSettings& settings, std::size_t quick_reps) {
+  if (settings.reps_override > 0) return settings.reps_override;
+  return settings.full ? 40 : quick_reps;
+}
+
+sweep::SweepOptions bench_sweep_options(const BenchSettings& settings,
+                                        std::vector<double> errors, std::size_t reps) {
+  sweep::SweepOptions options;
+  options.errors = std::move(errors);
+  options.repetitions = reps;
+  options.threads = settings.threads;
+  return options;
+}
+
+void print_banner(std::ostream& out, const std::string& title, const BenchSettings& settings,
+                  const sweep::GridSpec& grid, std::size_t errors, std::size_t reps) {
+  out << "=== " << title << " ===\n"
+      << (settings.full ? "paper-exact grid" : "quick grid (pass --full for the paper-exact one)")
+      << ": " << grid.size() << " configurations x " << errors << " error levels x " << reps
+      << " repetitions\n\n";
+}
+
+void print_win_table(std::ostream& out, const sweep::SweepResult& result, bool by_margin,
+                     const std::vector<PaperRow>& paper_rows) {
+  std::vector<std::string> headers = {"Algorithm"};
+  for (const std::string& label : sweep::error_band_labels()) headers.push_back(label);
+  report::TextTable table(std::move(headers));
+  for (std::size_t a = 1; a < result.algorithms().size(); ++a) {
+    std::vector<double> row;
+    row.reserve(5);
+    for (std::size_t band = 0; band < 5; ++band) {
+      row.push_back(result.win_percentage(band, a, by_margin));
+    }
+    table.add_row(result.algorithms()[a], row, 2);
+    for (const PaperRow& paper : paper_rows) {
+      if (paper.algorithm == result.algorithms()[a]) {
+        table.add_row("  (paper)", paper.values, 2);
+      }
+    }
+  }
+  table.print(out);
+}
+
+report::SeriesSet normalized_series(const sweep::SweepResult& result, const std::string& title) {
+  report::SeriesSet set;
+  set.title = title;
+  set.x_label = "error";
+  set.y_label = "makespan normalized to " + result.algorithms()[0];
+  for (std::size_t a = 1; a < result.algorithms().size(); ++a) {
+    report::Series series;
+    series.name = result.algorithms()[a];
+    for (std::size_t e = 0; e < result.errors().size(); ++e) {
+      series.add(result.errors()[e], result.mean_normalized_makespan(e, a));
+    }
+    set.series.push_back(std::move(series));
+  }
+  return set;
+}
+
+void emit_figure(std::ostream& out, const report::SeriesSet& series, const std::string& csv_name) {
+  out << report::render_plot(series) << '\n';
+  if (report::save_csv(csv_name, series)) {
+    out << "exact numbers written to " << csv_name << "\n\n";
+  }
+}
+
+}  // namespace rumr::bench

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared plumbing for the table/figure reproduction harnesses: grid sizing
+/// (quick default vs --full paper-exact), sweep execution, and the
+/// side-by-side "paper vs measured" presentation.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/series.hpp"
+#include "sweep/runner.hpp"
+
+namespace rumr::bench {
+
+/// Command-line / environment knobs shared by every harness.
+struct BenchSettings {
+  /// --full or RUMR_FULL=1: run the paper-exact Table 1 grid (9801
+  /// configurations x 25 error levels x 40 repetitions — hours of CPU).
+  bool full = false;
+  /// --reps N or RUMR_REPS=N: override the repetition count.
+  std::size_t reps_override = 0;
+  /// --threads N or RUMR_THREADS=N (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Parses argv and the environment. Unknown arguments are ignored so the
+/// harnesses tolerate being launched by generic runners.
+[[nodiscard]] BenchSettings parse_settings(int argc, char** argv);
+
+/// The platform grid: paper-exact Table 1 when full, otherwise a 144-point
+/// grid spanning the same ranges (N in {10,30,50}, B/N in {1.2,1.6,2.0},
+/// cLat and nLat in {0,0.3,0.7,1.0}).
+[[nodiscard]] sweep::GridSpec bench_grid(const BenchSettings& settings);
+
+/// The error axis: 0..0.48 at the paper's 0.02 step when full, at
+/// `quick_step` otherwise.
+[[nodiscard]] std::vector<double> bench_errors(const BenchSettings& settings,
+                                               double quick_step = 0.04);
+
+/// Repetition count: the paper's 40 when full, `quick_reps` otherwise,
+/// unless overridden.
+[[nodiscard]] std::size_t bench_reps(const BenchSettings& settings, std::size_t quick_reps);
+
+/// Assembles SweepOptions from the pieces above.
+[[nodiscard]] sweep::SweepOptions bench_sweep_options(const BenchSettings& settings,
+                                                      std::vector<double> errors,
+                                                      std::size_t reps);
+
+/// Prints a one-line banner describing the run scale.
+void print_banner(std::ostream& out, const std::string& title, const BenchSettings& settings,
+                  const sweep::GridSpec& grid, std::size_t errors, std::size_t reps);
+
+/// Prints the win-percentage table (paper Tables 2/3 layout) with an
+/// optional row of the paper's published values under each measured row.
+struct PaperRow {
+  std::string algorithm;
+  std::vector<double> values;  // One per error band.
+};
+void print_win_table(std::ostream& out, const sweep::SweepResult& result, bool by_margin,
+                     const std::vector<PaperRow>& paper_rows);
+
+/// Builds the Figure 4-style series set: mean normalized makespan vs error,
+/// one series per non-reference algorithm.
+[[nodiscard]] report::SeriesSet normalized_series(const sweep::SweepResult& result,
+                                                  const std::string& title);
+
+/// Renders the series as an ASCII plot, prints it, and saves the exact
+/// numbers as CSV next to the binary (path printed).
+void emit_figure(std::ostream& out, const report::SeriesSet& series, const std::string& csv_name);
+
+}  // namespace rumr::bench

@@ -1,0 +1,98 @@
+// Quickstart: schedule a divisible workload with RUMR and compare it with
+// plain UMR under prediction errors.
+//
+// This walks the whole public API surface once:
+//   1. describe the platform            (rumr::platform::StarPlatform)
+//   2. solve & inspect a UMR schedule   (rumr::core::solve_umr)
+//   3. run policies in simulation       (rumr::sim::simulate)
+//   4. render an execution Gantt trace  (rumr::sim::Trace) — the textual
+//      equivalent of the paper's Figures 2 and 3.
+
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "core/rumr.hpp"
+#include "core/umr.hpp"
+#include "core/umr_policy.hpp"
+#include "sim/master_worker.hpp"
+#include "sim/trace_json.hpp"
+
+int main() {
+  using namespace rumr;
+
+  // A homogeneous cluster out of the paper's Table 1: N = 10 workers,
+  // bandwidth 1.5x the aggregate compute rate, non-trivial latencies.
+  platform::HomogeneousParams params;
+  params.workers = 10;
+  params.speed = 1.0;        // 1 workload unit per second per worker
+  params.bandwidth = 15.0;   // B = 1.5 * N * S
+  params.comp_latency = 0.2; // 200 ms to start a computation
+  params.comm_latency = 0.1; // 100 ms to initiate a transfer
+  const platform::StarPlatform cluster = platform::StarPlatform::homogeneous(params);
+  const double workload = 1000.0;
+
+  std::printf("platform: %s\n", cluster.describe().c_str());
+  std::printf("workload: %.0f units\n\n", workload);
+
+  // --- 1. Inspect the UMR schedule ---------------------------------------
+  const core::UmrSchedule schedule = core::solve_umr(cluster, workload);
+  std::printf("UMR chooses M = %zu rounds (chunk growth ratio %.3f per round)\n",
+              schedule.rounds, schedule.growth);
+  std::printf("round chunk sizes (per worker): ");
+  for (std::size_t j = 0; j < schedule.rounds; ++j) {
+    std::printf("%s%.2f", j ? ", " : "", schedule.chunk[j][0]);
+  }
+  std::printf("\npredicted makespan: %.2f s\n\n", schedule.predicted_makespan);
+
+  // --- 2. Perfect predictions: UMR's home turf ---------------------------
+  {
+    core::UmrPolicy umr(cluster, workload);
+    sim::SimOptions exact;  // no error model
+    exact.record_trace = true;
+    const sim::SimResult result = simulate(cluster, umr, exact);
+    std::printf("UMR with perfect predictions: makespan %.2f s, %zu chunks, "
+                "mean worker utilization %.1f%%\n",
+                result.makespan, result.chunks_dispatched,
+                100.0 * result.mean_worker_utilization());
+    std::printf("\nexecution trace (cf. paper Figs. 2-3):\n%s\n",
+                result.trace.render_gantt(cluster.size(), 96).c_str());
+
+    // How close is that to provably optimal?
+    const analysis::ScheduleQuality quality = analysis::analyze_run(cluster, result, workload);
+    std::printf("schedule quality: %.1f%% worker efficiency, %.2fx the analytic lower bound\n",
+                100.0 * quality.worker_efficiency, quality.optimality_gap);
+
+    // Full-fidelity trace for chrome://tracing / Perfetto.
+    if (sim::save_chrome_tracing("quickstart_trace.json", result.trace)) {
+      std::printf("detailed trace written to quickstart_trace.json (open in chrome://tracing)\n");
+    }
+  }
+
+  // --- 3. Prediction errors: where RUMR earns its R ----------------------
+  std::printf("with 30%% prediction error (40 repetitions each):\n");
+  double umr_mean = 0.0;
+  double rumr_mean = 0.0;
+  const int reps = 40;
+  const double error = 0.3;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::UmrPolicy umr(cluster, workload);
+    core::RumrOptions options;
+    options.known_error = error;
+    core::RumrPolicy rumr(cluster, workload, options);
+    const auto seed = static_cast<std::uint64_t>(rep + 1);
+    umr_mean += simulate(cluster, umr, sim::SimOptions::with_error(error, seed)).makespan;
+    rumr_mean += simulate(cluster, rumr, sim::SimOptions::with_error(error, seed)).makespan;
+  }
+  umr_mean /= reps;
+  rumr_mean /= reps;
+  std::printf("  UMR : %.2f s mean makespan\n", umr_mean);
+  std::printf("  RUMR: %.2f s mean makespan  (%.1f%% better)\n", rumr_mean,
+              100.0 * (umr_mean - rumr_mean) / umr_mean);
+
+  core::RumrOptions options;
+  options.known_error = error;
+  const core::RumrPolicy probe(cluster, workload, options);
+  std::printf("  RUMR reserved %.0f units (%.0f%%) for its Factoring phase 2\n",
+              probe.phase2_work(), 100.0 * probe.phase2_work() / workload);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// rumr_cli — run a scheduling algorithm described by a configuration file
+// and report makespans (the APST-style "practical execution environment"
+// front end of the paper's section 6, in simulation).
+//
+// Usage:
+//   rumr_cli <run-description-file> [--gantt] [--algorithm NAME]
+//
+// See examples/cluster.rumr for the file format. --algorithm overrides the
+// [schedule] section, making A/B comparisons a shell loop:
+//
+//   for a in rumr umr factoring; do ./rumr_cli cluster.rumr --algorithm $a; done
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "config/run_description.hpp"
+#include "sim/master_worker.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rumr;
+
+  const char* path = nullptr;
+  const char* algorithm_override = nullptr;
+  bool gantt = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gantt") == 0) {
+      gantt = true;
+    } else if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
+      algorithm_override = argv[++i];
+    } else if (argv[i][0] != '-') {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: rumr_cli <run-description-file> [--gantt] [--algorithm NAME]\n"
+                 "see examples/cluster.rumr for the file format\n");
+    return 2;
+  }
+
+  try {
+    config::RunDescription run = config::run_from_config(config::ConfigFile::load(path));
+    if (algorithm_override != nullptr) run.algorithm = algorithm_override;
+
+    std::printf("platform  : %s\n", run.platform.describe().c_str());
+    std::printf("workload  : %.0f units\n", run.w_total);
+    std::printf("algorithm : %s (planning error %.2f)\n", run.algorithm.c_str(),
+                run.known_error);
+    std::printf("simulation: error %.2f, %zu repetition(s)\n\n",
+                run.sim_options.comm_error.base.error(), run.repetitions);
+
+    stats::Accumulator makespans;
+    sim::SimResult last;
+    for (std::size_t rep = 0; rep < run.repetitions; ++rep) {
+      const auto policy = config::make_policy(run);
+      sim::SimOptions options = run.sim_options;
+      options.seed = stats::mix_seed(options.seed, rep);
+      options.record_trace = gantt && rep + 1 == run.repetitions;
+      last = simulate(run.platform, *policy, options);
+      makespans.add(last.makespan);
+    }
+
+    if (run.repetitions == 1) {
+      std::printf("makespan  : %.3f s\n", makespans.mean());
+    } else {
+      std::printf("makespan  : %.3f s mean, %.3f s sd, [%.3f, %.3f] min/max over %zu reps\n",
+                  makespans.mean(), makespans.stddev(), makespans.min(), makespans.max(),
+                  run.repetitions);
+    }
+    std::printf("chunks    : %zu dispatched, mean worker utilization %.1f%%\n",
+                last.chunks_dispatched, 100.0 * last.mean_worker_utilization());
+    if (gantt) {
+      std::printf("\n%s", last.trace.render_gantt(run.platform.size(), 96).c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

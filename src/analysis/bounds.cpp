@@ -1,0 +1,81 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rumr::analysis {
+
+double MakespanBounds::combined() const {
+  return std::max({compute_bound, uplink_bound, startup_bound, pipeline_bound});
+}
+
+MakespanBounds makespan_lower_bounds(const platform::StarPlatform& platform, double w_total,
+                                     std::size_t uplink_channels) {
+  MakespanBounds bounds;
+  if (!(w_total > 0.0)) return bounds;
+
+  double max_bandwidth = 0.0;
+  double min_startup = std::numeric_limits<double>::infinity();
+  for (const platform::WorkerSpec& w : platform.workers()) {
+    max_bandwidth = std::max(max_bandwidth, w.bandwidth);
+    min_startup = std::min(min_startup, w.comm_latency + w.comp_latency);
+  }
+
+  bounds.compute_bound = w_total / platform.total_speed();
+  const double channels = static_cast<double>(std::max<std::size_t>(uplink_channels, 1));
+  bounds.uplink_bound = w_total / (channels * max_bandwidth);
+  bounds.startup_bound = min_startup;
+
+  // Pipeline refinement: if w units are computed after the uplink finishes,
+  // makespan >= (W - 0)/uplink_rate ... more precisely the last w units
+  // cross the uplink in the first (W/uplink_rate) seconds but the final
+  // chunk of size w still computes after its own transfer:
+  //   T >= W/R_up + w/S_agg  minimized over how little work w > 0 remains —
+  // in the divisible limit w -> 0, so the refinement instead uses the best
+  // single worker: the last byte goes to SOME worker i and that worker still
+  // needs (chunk)/S_i; optimizing the final chunk size c against the
+  // transfer of the remaining W - c:
+  //   T >= min_i min_c max((W - c)/R_up + c/B_i + c/S_i, ...) — we keep the
+  // simple, always-valid form: everything transferred, then an
+  // infinitesimal compute; plus the startup latency serialized in front.
+  bounds.pipeline_bound = bounds.startup_bound + bounds.uplink_bound;
+  return bounds;
+}
+
+ScheduleQuality analyze_run(const platform::StarPlatform& platform,
+                            const sim::SimResult& result, double w_total) {
+  ScheduleQuality quality;
+  quality.makespan = result.makespan;
+  quality.worker_efficiency = result.mean_worker_utilization();
+  quality.uplink_duty = result.makespan > 0.0 ? result.uplink_busy_time / result.makespan : 0.0;
+  const double bound = makespan_lower_bounds(platform, w_total).combined();
+  quality.optimality_gap = bound > 0.0 ? result.makespan / bound : 0.0;
+
+  if (!result.trace.empty()) {
+    double total_idle = 0.0;
+    std::size_t active_workers = 0;
+    for (std::size_t w = 0; w < platform.size(); ++w) {
+      double busy = 0.0;
+      double first = std::numeric_limits<double>::infinity();
+      double last = 0.0;
+      bool any = false;
+      for (const sim::TraceSpan& span : result.trace.for_worker(w)) {
+        if (span.kind != sim::SpanKind::kCompute) continue;
+        busy += span.end - span.start;
+        first = std::min(first, span.start);
+        last = std::max(last, span.end);
+        any = true;
+      }
+      if (!any) continue;
+      ++active_workers;
+      total_idle += (last - first) - busy;
+    }
+    if (active_workers > 0) {
+      quality.mean_interior_idle = total_idle / static_cast<double>(active_workers);
+    }
+  }
+  return quality;
+}
+
+}  // namespace rumr::analysis

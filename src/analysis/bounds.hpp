@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file bounds.hpp
+/// Analytic makespan lower bounds and schedule-quality metrics.
+///
+/// The bounds hold for ANY divisible-load schedule on the star platform
+/// (paper section 3.1 model) with perfect predictions, so they anchor both
+/// the test suite (no simulated run may beat them) and users evaluating how
+/// far a schedule sits from optimal.
+
+#include "platform/platform.hpp"
+#include "sim/master_worker.hpp"
+
+namespace rumr::analysis {
+
+/// Lower bounds on the makespan of W workload units.
+struct MakespanBounds {
+  /// W / sum S_i: even with free, instant communication the aggregate
+  /// compute rate caps throughput.
+  double compute_bound = 0.0;
+  /// W / (channels * max_i B_i): every unit of input crosses the master's
+  /// uplink, which can push at most channels * max B per second.
+  double uplink_bound = 0.0;
+  /// min_i (nLat_i + cLat_i): nothing completes before one transfer has been
+  /// initiated and one computation started.
+  double startup_bound = 0.0;
+  /// A pipeline refinement: the last unit of work must still be computed
+  /// after the uplink has pushed everything, so
+  /// uplink time of W-w plus compute time of w, minimized over the split —
+  /// at least max(compute, uplink) and usually strictly above it.
+  double pipeline_bound = 0.0;
+
+  /// The tightest of the above.
+  [[nodiscard]] double combined() const;
+};
+
+/// Computes the bounds for `w_total` units on `platform` with
+/// `uplink_channels` parallel channels (1 = the paper's model).
+[[nodiscard]] MakespanBounds makespan_lower_bounds(const platform::StarPlatform& platform,
+                                                   double w_total,
+                                                   std::size_t uplink_channels = 1);
+
+/// Post-hoc quality metrics of one simulated run.
+struct ScheduleQuality {
+  double makespan = 0.0;
+  /// Mean over workers of compute-busy time / makespan (1 = perfect).
+  double worker_efficiency = 0.0;
+  /// Uplink serialized-transfer time / makespan.
+  double uplink_duty = 0.0;
+  /// makespan / combined lower bound (1 = provably optimal).
+  double optimality_gap = 0.0;
+  /// Mean worker idle time between its first computation start and its last
+  /// completion (gaps a better schedule could fill).
+  double mean_interior_idle = 0.0;
+};
+
+/// Requires the run to have been simulated with record_trace = true (the
+/// interior-idle metric reads compute spans); other metrics fall back to the
+/// result's aggregates when the trace is empty.
+[[nodiscard]] ScheduleQuality analyze_run(const platform::StarPlatform& platform,
+                                          const sim::SimResult& result, double w_total);
+
+}  // namespace rumr::analysis

@@ -1,0 +1,128 @@
+#include "baselines/factoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace rumr::baselines {
+
+double empty_round_overhead_seconds(const platform::StarPlatform& platform) {
+  const auto n = static_cast<double>(platform.size());
+  double mean_clat = 0.0;
+  double mean_nlat = 0.0;
+  for (const platform::WorkerSpec& w : platform.workers()) {
+    mean_clat += w.comp_latency;
+    mean_nlat += w.comm_latency;
+  }
+  mean_clat /= n;
+  mean_nlat /= n;
+  return mean_clat + mean_nlat * n;
+}
+
+double empty_round_overhead_work(const platform::StarPlatform& platform) {
+  const double mean_speed = platform.total_speed() / static_cast<double>(platform.size());
+  return empty_round_overhead_seconds(platform) * mean_speed;
+}
+
+namespace {
+
+std::vector<std::size_t> iota_workers(std::size_t n) {
+  std::vector<std::size_t> workers(n);
+  for (std::size_t i = 0; i < n; ++i) workers[i] = i;
+  return workers;
+}
+
+}  // namespace
+
+SelfSchedulingPolicy::SelfSchedulingPolicy(std::string name, std::vector<double> chunks,
+                                           std::size_t num_workers)
+    : SelfSchedulingPolicy(std::move(name), std::move(chunks), iota_workers(num_workers)) {}
+
+SelfSchedulingPolicy::SelfSchedulingPolicy(std::string name, std::vector<double> chunks,
+                                           std::vector<std::size_t> workers)
+    : name_(std::move(name)), workers_(std::move(workers)) {
+  if (workers_.empty()) throw std::invalid_argument("self-scheduling needs >= 1 worker");
+  chunks_.reserve(chunks.size());
+  for (double c : chunks) {
+    if (c > 0.0) {
+      chunks_.push_back(c);
+      total_work_ += c;
+    }
+  }
+}
+
+std::optional<sim::Dispatch> SelfSchedulingPolicy::next_dispatch(const sim::MasterContext& ctx) {
+  if (cursor_ >= chunks_.size()) return std::nullopt;
+
+  // Self-scheduling: feed only workers below the outstanding cap (1 = pure
+  // request-driven, 2 = one-chunk prefetch). Among eligible workers prefer
+  // the least loaded, then the one idle the longest (earliest completion;
+  // subset order initially), matching a FIFO request queue.
+  std::size_t best = workers_.size();
+  std::size_t best_outstanding = 0;
+  double best_completion = 0.0;
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    const sim::WorkerStatus& st = ctx.worker_status(workers_[k]);
+    if (st.outstanding >= max_outstanding_) continue;
+    const bool better = best == workers_.size() || st.outstanding < best_outstanding ||
+                        (st.outstanding == best_outstanding &&
+                         st.last_completion < best_completion);
+    if (better) {
+      best = k;
+      best_outstanding = st.outstanding;
+      best_completion = st.last_completion;
+    }
+  }
+  if (best == workers_.size()) return std::nullopt;  // Everyone loaded: wait.
+  return sim::Dispatch{workers_[best], chunks_[cursor_++]};
+}
+
+std::vector<double> factoring_chunks(double w_total, std::size_t num_workers,
+                                     const FactoringOptions& options) {
+  if (!(w_total > 0.0)) return {};
+  if (num_workers == 0) throw std::invalid_argument("factoring needs >= 1 worker");
+  if (!(options.factor > 1.0)) throw std::invalid_argument("factoring factor must exceed 1");
+
+  const auto n = static_cast<double>(num_workers);
+  // A strictly positive floor is needed for termination on continuous loads;
+  // 1e-6 of the workload is far below any overhead-relevant size.
+  const double floor_chunk = std::max(options.min_chunk, 1e-6 * w_total);
+  const double epsilon = 1e-12 * w_total;
+
+  std::vector<double> chunks;
+  double remaining = w_total;
+  while (remaining > epsilon) {
+    const double batch_chunk = std::max(remaining / (options.factor * n), floor_chunk);
+    for (std::size_t i = 0; i < num_workers && remaining > epsilon; ++i) {
+      double take = std::min(batch_chunk, remaining);
+      // Absorb a vanishing remainder into this chunk instead of emitting a
+      // degenerate extra one.
+      if (remaining - take < 0.5 * floor_chunk) take = remaining;
+      chunks.push_back(take);
+      remaining -= take;
+    }
+  }
+  return chunks;
+}
+
+FactoringPolicy::FactoringPolicy(double w_total, std::size_t num_workers,
+                                 const FactoringOptions& options)
+    : SelfSchedulingPolicy("Factoring", factoring_chunks(w_total, num_workers, options),
+                           num_workers) {}
+
+FactoringPolicy::FactoringPolicy(double w_total, std::vector<std::size_t> workers,
+                                 const FactoringOptions& options)
+    // Note: `workers` is passed by value (not moved) because the first
+    // argument reads workers.size() and evaluation order is unspecified.
+    : SelfSchedulingPolicy("Factoring", factoring_chunks(w_total, workers.size(), options),
+                           workers) {}
+
+std::unique_ptr<sim::SchedulerPolicy> make_factoring_policy(
+    const platform::StarPlatform& platform, double w_total) {
+  FactoringOptions options;
+  options.min_chunk = empty_round_overhead_work(platform);
+  return std::make_unique<FactoringPolicy>(w_total, platform.size(), options);
+}
+
+}  // namespace rumr::baselines

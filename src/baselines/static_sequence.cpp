@@ -1,0 +1,23 @@
+#include "baselines/static_sequence.hpp"
+
+#include <algorithm>
+
+namespace rumr::baselines {
+
+StaticSequencePolicy::StaticSequencePolicy(std::string name, std::vector<sim::Dispatch> plan)
+    : name_(std::move(name)) {
+  plan_.reserve(plan.size());
+  for (const sim::Dispatch& d : plan) {
+    if (d.chunk > 0.0) {
+      plan_.push_back(d);
+      total_work_ += d.chunk;
+    }
+  }
+}
+
+std::optional<sim::Dispatch> StaticSequencePolicy::next_dispatch(const sim::MasterContext&) {
+  if (cursor_ >= plan_.size()) return std::nullopt;
+  return plan_[cursor_++];
+}
+
+}  // namespace rumr::baselines

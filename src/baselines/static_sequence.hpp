@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file static_sequence.hpp
+/// Policy adapter for precomputed schedules.
+///
+/// Algorithms that precalculate the entire schedule at the onset of the
+/// application (MI-x, plain UMR) reduce, at execution time, to replaying a
+/// fixed dispatch sequence as fast as the uplink allows. This policy does
+/// exactly that: it never waits and never reacts to completions.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace rumr::baselines {
+
+/// Replays a fixed sequence of dispatches in order.
+class StaticSequencePolicy : public sim::SchedulerPolicy {
+ public:
+  /// `plan` is dispatched front to back. Chunks must be positive; zero-sized
+  /// entries are dropped (a solver may legitimately produce them).
+  StaticSequencePolicy(std::string name, std::vector<sim::Dispatch> plan);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  std::optional<sim::Dispatch> next_dispatch(const sim::MasterContext& ctx) override;
+  [[nodiscard]] bool finished() const override { return cursor_ >= plan_.size(); }
+  [[nodiscard]] double total_work() const override { return total_work_; }
+
+  [[nodiscard]] const std::vector<sim::Dispatch>& plan() const noexcept { return plan_; }
+
+ private:
+  std::string name_;
+  std::vector<sim::Dispatch> plan_;
+  std::size_t cursor_ = 0;
+  double total_work_ = 0.0;
+};
+
+}  // namespace rumr::baselines

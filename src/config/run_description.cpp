@@ -1,0 +1,126 @@
+#include "config/run_description.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "baselines/factoring.hpp"
+#include "baselines/fsc.hpp"
+#include "baselines/loop_scheduling.hpp"
+#include "baselines/multi_installment.hpp"
+#include "core/adaptive_rumr.hpp"
+#include "core/rumr.hpp"
+#include "core/umr_policy.hpp"
+
+namespace rumr::config {
+
+platform::StarPlatform platform_from_config(const ConfigFile& file) {
+  platform::WorkerSpec defaults;
+  defaults.speed = file.get_double("platform", "speed", 1.0);
+  defaults.bandwidth = file.get_double("platform", "bandwidth", 0.0);
+  defaults.comp_latency = file.get_double("platform", "comp_latency", 0.0);
+  defaults.comm_latency = file.get_double("platform", "comm_latency", 0.0);
+  defaults.transfer_latency = file.get_double("platform", "transfer_latency", 0.0);
+
+  // Worker count: explicit, or inferred from the largest [worker i] index.
+  std::size_t workers = file.get_size("platform", "workers", 0);
+  for (const std::string& section : file.sections()) {
+    if (section.rfind("worker ", 0) != 0) continue;
+    const std::string index_text = trim(section.substr(7));
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(index_text.c_str(), &end, 10);
+    if (end == index_text.c_str() || *end != '\0') {
+      throw ConfigError("bad worker section name: [" + section + "]");
+    }
+    workers = std::max<std::size_t>(workers, static_cast<std::size_t>(index) + 1);
+  }
+  if (workers == 0) {
+    throw ConfigError("[platform] workers missing (and no [worker i] sections)");
+  }
+  if (defaults.bandwidth <= 0.0 && !file.has_section("worker 0")) {
+    // A default bandwidth is required unless every worker overrides it;
+    // validation below will catch residual gaps via StarPlatform.
+    throw ConfigError("[platform] bandwidth missing or non-positive");
+  }
+
+  std::vector<platform::WorkerSpec> specs(workers, defaults);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const std::string section = "worker " + std::to_string(i);
+    if (!file.has_section(section)) continue;
+    specs[i].speed = file.get_double(section, "speed", specs[i].speed);
+    specs[i].bandwidth = file.get_double(section, "bandwidth", specs[i].bandwidth);
+    specs[i].comp_latency = file.get_double(section, "comp_latency", specs[i].comp_latency);
+    specs[i].comm_latency = file.get_double(section, "comm_latency", specs[i].comm_latency);
+    specs[i].transfer_latency =
+        file.get_double(section, "transfer_latency", specs[i].transfer_latency);
+  }
+  try {
+    return platform::StarPlatform(std::move(specs));
+  } catch (const platform::PlatformError& error) {
+    throw ConfigError(std::string("invalid platform: ") + error.what());
+  }
+}
+
+RunDescription run_from_config(const ConfigFile& file) {
+  RunDescription run{platform_from_config(file)};
+  run.w_total = file.require_double("workload", "total");
+  if (!(run.w_total > 0.0)) throw ConfigError("[workload] total must be positive");
+
+  run.algorithm = file.get_string("schedule", "algorithm", "rumr");
+  std::transform(run.algorithm.begin(), run.algorithm.end(), run.algorithm.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  run.known_error = file.get_double("schedule", "error",
+                                    file.get_double("simulation", "error", 0.0));
+
+  const double actual_error = file.get_double("simulation", "error", 0.0);
+  const std::string distribution = file.get_string("simulation", "distribution", "normal");
+  stats::ErrorModel model;
+  if (distribution == "normal") {
+    model = stats::ErrorModel::truncated_normal(actual_error);
+  } else if (distribution == "uniform") {
+    model = stats::ErrorModel::uniform(actual_error);
+  } else {
+    throw ConfigError("[simulation] distribution must be 'normal' or 'uniform'");
+  }
+  run.sim_options.comm_error = model;
+  run.sim_options.comp_error = model;
+  run.sim_options.seed = static_cast<std::uint64_t>(file.get_size("simulation", "seed", 1));
+  run.sim_options.output_ratio = file.get_double("simulation", "output_ratio", 0.0);
+  run.sim_options.uplink_channels = file.get_size("simulation", "uplink_channels", 1);
+  run.repetitions = std::max<std::size_t>(1, file.get_size("simulation", "repetitions", 1));
+  return run;
+}
+
+std::unique_ptr<sim::SchedulerPolicy> make_policy(const RunDescription& run) {
+  const std::string& name = run.algorithm;
+  if (name == "rumr") {
+    core::RumrOptions options;
+    options.known_error = run.known_error;
+    return std::make_unique<core::RumrPolicy>(run.platform, run.w_total, std::move(options));
+  }
+  if (name == "rumr-adaptive") {
+    return std::make_unique<core::AdaptiveRumrPolicy>(run.platform, run.w_total);
+  }
+  if (name == "umr") {
+    return std::make_unique<core::UmrPolicy>(run.platform, run.w_total,
+                                             core::DispatchOrder::kTimetable);
+  }
+  if (name == "umr-eager") {
+    return std::make_unique<core::UmrPolicy>(run.platform, run.w_total,
+                                             core::DispatchOrder::kInOrder);
+  }
+  if (name.rfind("mi-", 0) == 0) {
+    const std::size_t installments = static_cast<std::size_t>(
+        std::strtoull(name.c_str() + 3, nullptr, 10));
+    if (installments == 0) throw ConfigError("bad MI installment count in: " + name);
+    return baselines::make_mi_policy(run.platform, run.w_total, installments);
+  }
+  if (name == "factoring") return baselines::make_factoring_policy(run.platform, run.w_total);
+  if (name == "wf") return baselines::make_weighted_factoring_policy(run.platform, run.w_total);
+  if (name == "gss") return baselines::make_gss_policy(run.platform, run.w_total);
+  if (name == "tss") return baselines::make_tss_policy(run.platform, run.w_total);
+  if (name == "fsc") return baselines::make_fsc_policy(run.platform, run.w_total, run.known_error);
+  throw ConfigError("unknown algorithm: " + name);
+}
+
+}  // namespace rumr::config

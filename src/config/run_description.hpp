@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file run_description.hpp
+/// Bridges configuration files to the scheduling library: platform,
+/// workload, algorithm, and simulation settings from one description file.
+///
+/// Schema (all keys optional unless noted):
+///
+///   [platform]
+///   workers = 16           ; required unless explicit [worker i] sections exist
+///   speed = 1.0            ; defaults for every worker
+///   bandwidth = 24.0
+///   comp_latency = 0.2
+///   comm_latency = 0.1
+///   transfer_latency = 0
+///
+///   [worker 3]             ; per-worker overrides (0-based index)
+///   speed = 4.0
+///
+///   [workload]
+///   total = 1000           ; required, > 0
+///
+///   [schedule]
+///   algorithm = rumr       ; rumr | rumr-adaptive | umr | umr-eager |
+///                          ;   mi-<x> | factoring | wf | gss | tss | fsc
+///   error = 0.2            ; known/assumed prediction-error magnitude
+///
+///   [simulation]
+///   error = 0.2            ; actual error level driving the run
+///   distribution = normal  ; normal | uniform
+///   seed = 42
+///   repetitions = 1
+///   output_ratio = 0
+///   uplink_channels = 1
+
+#include <memory>
+#include <string>
+
+#include "config/config_file.hpp"
+#include "platform/platform.hpp"
+#include "sim/master_worker.hpp"
+#include "sim/policy.hpp"
+
+namespace rumr::config {
+
+/// Everything needed to execute a described run.
+struct RunDescription {
+  platform::StarPlatform platform;
+  double w_total = 0.0;
+  std::string algorithm = "rumr";
+  double known_error = 0.0;      ///< What the scheduler is told.
+  sim::SimOptions sim_options{}; ///< Including the actual error level.
+  std::size_t repetitions = 1;
+};
+
+/// Builds the platform from [platform] + [worker i] sections. Throws
+/// ConfigError on invalid or missing description.
+[[nodiscard]] platform::StarPlatform platform_from_config(const ConfigFile& file);
+
+/// Parses the full run description. Throws ConfigError on problems.
+[[nodiscard]] RunDescription run_from_config(const ConfigFile& file);
+
+/// Instantiates the described scheduling policy for the description's
+/// platform and workload. Throws ConfigError for unknown algorithm names.
+[[nodiscard]] std::unique_ptr<sim::SchedulerPolicy> make_policy(const RunDescription& run);
+
+}  // namespace rumr::config

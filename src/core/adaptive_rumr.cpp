@@ -1,0 +1,62 @@
+#include "core/adaptive_rumr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rumr::core {
+
+AdaptiveRumrPolicy::AdaptiveRumrPolicy(const platform::StarPlatform& platform, double w_total,
+                                       AdaptiveRumrOptions options)
+    : platform_(&platform), w_total_(w_total), options_(std::move(options)) {
+  if (!(w_total > 0.0) || !std::isfinite(w_total)) {
+    throw std::invalid_argument("adaptive RUMR requires a positive, finite workload");
+  }
+  const double fraction = std::clamp(options_.pilot_fraction, 0.0, 1.0);
+  const double w_pilot = fraction * w_total;
+  w_rest_ = w_total - w_pilot;
+  if (w_pilot > 0.0) {
+    pilot_.emplace(platform, w_pilot, DispatchOrder::kOutOfOrder, options_.rumr.umr,
+                   name_ + "/pilot");
+  }
+}
+
+void AdaptiveRumrPolicy::build_rest(const platform::StarPlatform& platform) {
+  double error = options_.fallback_error;
+  if (ratios_.count() >= options_.min_samples) {
+    // The sample spread of predicted/actual ratios is exactly the paper's
+    // `error` parameter. Clamp into the meaningful range.
+    error = std::clamp(ratios_.stddev(), 0.0, 1.0);
+  }
+  estimate_ = error;
+  RumrOptions rumr = options_.rumr;
+  rumr.known_error = error;
+  rumr.name = name_ + "/rest";
+  rest_.emplace(platform, w_rest_, std::move(rumr));
+}
+
+std::optional<sim::Dispatch> AdaptiveRumrPolicy::next_dispatch(const sim::MasterContext& ctx) {
+  if (pilot_ && !pilot_->finished()) return pilot_->next_dispatch(ctx);
+  if (!rest_ && w_rest_ > 0.0) build_rest(*platform_);
+  if (rest_ && !rest_->finished()) return rest_->next_dispatch(ctx);
+  return std::nullopt;
+}
+
+void AdaptiveRumrPolicy::on_chunk_completed(const sim::MasterContext&,
+                                            const sim::CompletionInfo& info) {
+  if (rest_) return;  // Only pilot completions feed the estimator.
+  // Sample actual/predicted: under the section 4.1 model this is exactly the
+  // N(1, error) ratio, so its sample stddev estimates `error` directly
+  // (the inverse predicted/actual would be 1/Normal, whose heavy tail
+  // inflates the spread badly).
+  if (info.predicted_comp > 0.0) ratios_.add(info.actual_comp / info.predicted_comp);
+}
+
+bool AdaptiveRumrPolicy::finished() const {
+  const bool pilot_done = !pilot_ || pilot_->finished();
+  if (!pilot_done) return false;
+  if (w_rest_ <= 0.0) return true;
+  return rest_ && rest_->finished();
+}
+
+}  // namespace rumr::core

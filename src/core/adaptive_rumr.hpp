@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file adaptive_rumr.hpp
+/// On-line error estimation for RUMR (extension; the paper's sections 4.1 and
+/// 5.2.1 point at "monitoring prediction errors as the application runs" as
+/// the practical way to obtain `error`, and defer it to the APST integration).
+///
+/// The adaptive policy schedules a pilot fraction of the workload with
+/// (out-of-order) UMR while recording, for every completed chunk, the ratio
+/// of predicted to observed computation time. When the pilot is fully
+/// dispatched, the sample standard deviation of those ratios — exactly the
+/// `error` of the paper's model — parameterizes a regular known-error RUMR
+/// over the remaining workload.
+
+#include <optional>
+#include <string>
+
+#include "core/rumr.hpp"
+#include "core/umr_policy.hpp"
+#include "stats/summary.hpp"
+
+namespace rumr::core {
+
+/// Configuration for the adaptive policy.
+struct AdaptiveRumrOptions {
+  /// Fraction of the workload scheduled as the UMR pilot.
+  double pilot_fraction = 0.3;
+  /// Minimum ratio samples before trusting the estimate.
+  std::size_t min_samples = 8;
+  /// Error assumed when too few samples arrived by the end of the pilot.
+  double fallback_error = 0.2;
+  /// Forwarded to the inner RUMR (known_error is overwritten).
+  RumrOptions rumr{};
+};
+
+/// RUMR with on-line error estimation.
+class AdaptiveRumrPolicy : public sim::SchedulerPolicy {
+ public:
+  AdaptiveRumrPolicy(const platform::StarPlatform& platform, double w_total,
+                     AdaptiveRumrOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  std::optional<sim::Dispatch> next_dispatch(const sim::MasterContext& ctx) override;
+  void on_chunk_completed(const sim::MasterContext& ctx, const sim::CompletionInfo& info) override;
+  [[nodiscard]] bool finished() const override;
+  [[nodiscard]] double total_work() const override { return w_total_; }
+
+  /// The error estimate in force (nullopt until the rest-policy is built).
+  [[nodiscard]] std::optional<double> estimated_error() const noexcept { return estimate_; }
+
+ private:
+  void build_rest(const platform::StarPlatform& platform);
+
+  std::string name_ = "RUMR-adaptive";
+  const platform::StarPlatform* platform_ = nullptr;
+  double w_total_ = 0.0;
+  double w_rest_ = 0.0;
+  AdaptiveRumrOptions options_;
+  std::optional<UmrPolicy> pilot_;
+  std::optional<RumrPolicy> rest_;
+  std::optional<double> estimate_;
+  stats::Accumulator ratios_;
+};
+
+}  // namespace rumr::core

@@ -1,0 +1,32 @@
+#include "core/resource_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rumr::core {
+
+std::vector<std::size_t> select_workers(const platform::StarPlatform& platform,
+                                        double utilization_budget) {
+  std::vector<std::size_t> order(platform.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return platform.worker(a).bandwidth > platform.worker(b).bandwidth;
+  });
+
+  std::vector<std::size_t> selected;
+  double used = 0.0;
+  for (std::size_t i : order) {
+    const platform::WorkerSpec& w = platform.worker(i);
+    const double weight = w.speed / w.bandwidth;
+    if (used + weight <= utilization_budget || selected.empty()) {
+      selected.push_back(i);
+      used += weight;
+      // If even the first worker blew the budget, stop at one: adding more
+      // only worsens an already-saturated uplink.
+      if (used > utilization_budget) break;
+    }
+  }
+  return selected;
+}
+
+}  // namespace rumr::core

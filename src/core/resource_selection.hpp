@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file resource_selection.hpp
+/// Worker selection for multi-round scheduling.
+///
+/// Multi-round schedules with increasing chunk sizes require the
+/// full-utilization condition A = sum_i S_i/B_i < 1: the master must be able
+/// to feed the aggregate compute rate. When a platform violates it, UMR
+/// prescribes using a subset of the workers (RUMR paper section 5; details in
+/// the UMR technical report [17], which is not publicly archived — the greedy
+/// below is our documented substitution, see DESIGN.md).
+///
+/// Selecting the subset maximizing total speed subject to
+/// sum S_i/B_i <= A_max is a knapsack (value S_i, weight S_i/B_i); the
+/// classic density greedy sorts by value/weight = B_i descending and adds
+/// while the budget holds. On homogeneous platforms this reduces exactly to
+/// "use the largest N' with N'*S/B <= A_max", which is what the paper's
+/// condition asks for.
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace rumr::core {
+
+/// Returns the indices of the selected workers, in descending-bandwidth
+/// order (ties broken by index for determinism). At least one worker is
+/// always selected, even if it alone violates the budget (the UMR solver
+/// degrades to few-round schedules in that case rather than failing).
+[[nodiscard]] std::vector<std::size_t> select_workers(const platform::StarPlatform& platform,
+                                                      double utilization_budget);
+
+}  // namespace rumr::core

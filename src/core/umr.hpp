@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file umr.hpp
+/// UMR — Uniform Multi-Round scheduling (Yang & Casanova, IPDPS 2003), the
+/// performance-oriented half of RUMR.
+///
+/// UMR dispatches the workload in M rounds. Within round j every selected
+/// worker i receives one chunk; chunks are sized so that all workers take the
+/// same time tau_j to compute their round-j chunk, and so that the master
+/// finishes sending round j+1 exactly when round j's computations finish
+/// (full overlap of communication and computation). This gives the linear
+/// recurrence
+///
+///     tau_{j+1} = (tau_j - beta) / A,
+///     A    = sum_i S_i / B_i,
+///     beta = sum_i nLat_i - sum_i S_i * cLat_i / B_i,
+///
+/// so round times — and chunk sizes chunk_{j,i} = S_i * (tau_j - cLat_i) —
+/// grow geometrically with ratio 1/A (the *increasing chunk sizes* that hide
+/// per-round latencies; A < 1 is the full-utilization condition). For a
+/// homogeneous platform this reduces to the paper's
+/// chunk_{j+1} = theta * chunk_j + gamma with theta = B/(N*S).
+///
+/// Given the workload constraint, tau_0 is *determined* by the round count M,
+/// so the whole optimization collapses to minimizing a 1-D makespan function
+/// E(M). Two solvers are provided: an exact scan over integer M (default) and
+/// the paper's route — a continuous relaxation solved by bisection on
+/// dE/dM — which the test suite cross-checks against the scan.
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/policy.hpp"
+
+namespace rumr::core {
+
+/// How the optimal round count is located.
+enum class UmrSolverMethod : unsigned char {
+  kScan,       ///< Exact minimization over integer M (default).
+  kBisection,  ///< Continuous relaxation, bisection on dE/dM (paper's route).
+};
+
+/// Solver configuration.
+struct UmrOptions {
+  UmrSolverMethod method = UmrSolverMethod::kScan;
+  /// Hard cap on the number of rounds considered.
+  std::size_t max_rounds = 4096;
+  /// When true and the full-utilization condition fails (A close to or above
+  /// 1), a subset of workers is selected first (see resource_selection.hpp).
+  bool allow_resource_selection = true;
+  /// Selection keeps A <= 1 - utilization_margin.
+  double utilization_margin = 0.05;
+};
+
+/// A solved UMR schedule.
+struct UmrSchedule {
+  /// Optimal number of rounds M.
+  std::size_t rounds = 0;
+  /// tau_j: common per-worker computation time of round j (seconds).
+  std::vector<double> round_time;
+  /// chunk[j][k]: round j's chunk for the k-th *selected* worker.
+  std::vector<std::vector<double>> chunk;
+  /// Indices (into the original platform) of the workers actually used.
+  std::vector<std::size_t> selected_workers;
+  /// True if resource selection dropped at least one worker.
+  bool used_resource_selection = false;
+  /// Model-predicted makespan E(M) of the chosen schedule (seconds).
+  double predicted_makespan = 0.0;
+  /// Geometric growth ratio of round times, 1/A (> 1 means increasing).
+  double growth = 0.0;
+
+  /// Total scheduled workload (== the requested W up to rounding).
+  [[nodiscard]] double total() const;
+
+  /// Dispatch plan in UMR's canonical order: rounds outer, workers inner,
+  /// with worker indices mapped back to the original platform.
+  [[nodiscard]] std::vector<sim::Dispatch> to_plan() const;
+};
+
+/// Solves UMR for `w_total` workload units on `platform`.
+///
+/// Always succeeds for valid inputs: M = 1 (a single round proportional to
+/// worker speeds) is always feasible, so the result has rounds >= 1. Throws
+/// std::invalid_argument for non-positive workloads.
+[[nodiscard]] UmrSchedule solve_umr(const platform::StarPlatform& platform, double w_total,
+                                    const UmrOptions& options = {});
+
+/// Predicted makespan E(M) for a given integer round count on the *selected*
+/// platform, or +inf when M is infeasible (some chunk would be non-positive).
+/// Exposed for tests and for the bisection solver.
+[[nodiscard]] double umr_predicted_makespan(const platform::StarPlatform& platform,
+                                            double w_total, std::size_t rounds);
+
+}  // namespace rumr::core

@@ -1,0 +1,141 @@
+#include "core/umr_policy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rumr::core {
+
+UmrPolicy::UmrPolicy(UmrSchedule schedule, DispatchOrder order, std::string name)
+    : name_(std::move(name)), schedule_(std::move(schedule)), order_(order) {
+  if (order_ == DispatchOrder::kTimetable) {
+    throw std::invalid_argument(
+        "kTimetable needs the platform to compute planned send times; use the "
+        "platform-taking UmrPolicy constructor");
+  }
+  total_work_ = schedule_.total();
+  sent_.resize(schedule_.rounds);
+  for (std::size_t j = 0; j < schedule_.rounds; ++j) {
+    sent_[j].assign(schedule_.chunk[j].size(), 0);
+  }
+  remaining_in_round_ = schedule_.rounds > 0 ? schedule_.chunk[0].size() : 0;
+  skip_empty_slots();
+}
+
+UmrPolicy::UmrPolicy(const platform::StarPlatform& platform, double w_total, DispatchOrder order,
+                     const UmrOptions& options, std::string name)
+    : UmrPolicy(solve_umr(platform, w_total, options),
+                order == DispatchOrder::kTimetable ? DispatchOrder::kInOrder : order,
+                std::move(name)) {
+  if (order == DispatchOrder::kTimetable) {
+    order_ = DispatchOrder::kTimetable;
+    build_timetable(platform);
+  }
+}
+
+void UmrPolicy::build_timetable(const platform::StarPlatform& platform) {
+  // Planned send start times: the precalculated schedule keeps the uplink
+  // saturated, so chunk k's send is planned to start when the (predicted)
+  // serial parts of all earlier sends have completed. Zero-sized chunks are
+  // skipped, mirroring the dispatch path.
+  timetable_.clear();
+  des::SimTime clock = 0.0;
+  for (std::size_t j = 0; j < schedule_.rounds; ++j) {
+    for (std::size_t k = 0; k < schedule_.chunk[j].size(); ++k) {
+      const double chunk = schedule_.chunk[j][k];
+      if (chunk <= 0.0) continue;
+      timetable_.push_back(clock);
+      clock += platform.comm_serial_time(schedule_.selected_workers[k], chunk);
+    }
+  }
+}
+
+void UmrPolicy::skip_empty_slots() {
+  // Zero-sized chunks (a worker whose cLat consumed its whole round) are
+  // treated as already dispatched; also advances past completed rounds.
+  while (current_round_ < schedule_.rounds) {
+    auto& round_sent = sent_[current_round_];
+    const auto& round_chunks = schedule_.chunk[current_round_];
+    remaining_in_round_ = 0;
+    for (std::size_t k = 0; k < round_sent.size(); ++k) {
+      if (!round_sent[k] && round_chunks[k] <= 0.0) round_sent[k] = 1;
+      if (!round_sent[k]) ++remaining_in_round_;
+    }
+    if (remaining_in_round_ > 0) return;
+    ++current_round_;
+  }
+}
+
+std::optional<sim::Dispatch> UmrPolicy::next_dispatch(const sim::MasterContext& ctx) {
+  if (current_round_ >= schedule_.rounds) return std::nullopt;
+
+  // Timetable mode: never run ahead of the precalculated send times.
+  if (order_ == DispatchOrder::kTimetable && sent_count_ < timetable_.size() &&
+      ctx.now() < timetable_[sent_count_]) {
+    return std::nullopt;
+  }
+
+  auto& round_sent = sent_[current_round_];
+  const auto& round_chunks = schedule_.chunk[current_round_];
+
+  std::size_t pick = round_sent.size();
+  if (order_ != DispatchOrder::kOutOfOrder) {
+    for (std::size_t k = 0; k < round_sent.size(); ++k) {
+      if (!round_sent[k]) {
+        pick = k;
+        break;
+      }
+    }
+  } else {
+    // Out of order (the paper's phase-1 revision): keep the round-robin
+    // order unless a worker "finishes prematurely" — i.e. an unserved worker
+    // of this round has nothing outstanding. Prematurely idle workers are
+    // served first (earliest completion first); otherwise fall back to slot
+    // order. Deviating only on observed idleness keeps the increasing-chunk
+    // structure intact when predictions are good (Figure 7's observation
+    // that aggressive reordering can hurt at low error).
+    std::size_t first_unserved = round_sent.size();
+    std::size_t first_receivable = round_sent.size();
+    double best_completion = 0.0;
+    for (std::size_t k = 0; k < round_sent.size(); ++k) {
+      if (round_sent[k]) continue;
+      const std::size_t worker = schedule_.selected_workers[k];
+      if (first_unserved == round_sent.size()) first_unserved = k;
+      if (first_receivable == round_sent.size() && ctx.can_receive(worker)) {
+        first_receivable = k;
+      }
+      const sim::WorkerStatus& st = ctx.worker_status(worker);
+      if (st.outstanding == 0 && st.completed_chunks > 0) {
+        if (pick == round_sent.size() || st.last_completion < best_completion) {
+          pick = k;
+          best_completion = st.last_completion;
+        }
+      }
+    }
+    // Preference: prematurely idle worker, then any worker that can receive
+    // without blocking the uplink, then plain round-robin order.
+    if (pick == round_sent.size()) pick = first_receivable;
+    if (pick == round_sent.size()) pick = first_unserved;
+  }
+  if (pick == round_sent.size()) return std::nullopt;  // Unreachable if invariants hold.
+
+  round_sent[pick] = 1;
+  --remaining_in_round_;
+  ++sent_count_;
+  const sim::Dispatch d{schedule_.selected_workers[pick], round_chunks[pick]};
+  if (remaining_in_round_ == 0) {
+    ++current_round_;
+    skip_empty_slots();
+  }
+  return d;
+}
+
+std::optional<des::SimTime> UmrPolicy::next_poll_time() const {
+  if (order_ != DispatchOrder::kTimetable || finished() || sent_count_ >= timetable_.size()) {
+    return std::nullopt;
+  }
+  return timetable_[sent_count_];
+}
+
+bool UmrPolicy::finished() const { return current_round_ >= schedule_.rounds; }
+
+}  // namespace rumr::core

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file umr_policy.hpp
+/// Execution policy for UMR schedules, with the dispatch-order knob that
+/// RUMR's phase 1 adds (paper section 4.2, design choice ii).
+
+#include <string>
+#include <vector>
+
+#include "core/umr.hpp"
+#include "sim/policy.hpp"
+
+namespace rumr::core {
+
+/// How chunks inside a round are ordered and paced.
+enum class DispatchOrder : unsigned char {
+  /// Plain UMR, eagerly executed: strict round-robin (worker 0, 1, ...,
+  /// N-1 every round), each send starting as soon as the uplink frees.
+  kInOrder,
+  /// RUMR's phase-1 modification: within the current round, a worker that
+  /// finished prematurely (nothing outstanding) jumps the queue; next
+  /// preference goes to workers that can receive without blocking. Rounds
+  /// are never reordered, preserving the increasing-chunk-size property.
+  kOutOfOrder,
+  /// UMR as a literal precalculated schedule: round-robin order AND the
+  /// precalculated send start times — a send never starts before its planned
+  /// time, even if the uplink freed early (transfers that ran fast do not
+  /// let the master run ahead of its timetable). This is the fully
+  /// "precalculated at the onset" execution the paper contrasts RUMR's
+  /// greedy component against.
+  kTimetable,
+};
+
+/// Replays a UMR schedule round by round.
+class UmrPolicy : public sim::SchedulerPolicy {
+ public:
+  /// Wraps an already-solved schedule.
+  UmrPolicy(UmrSchedule schedule, DispatchOrder order, std::string name = "UMR");
+
+  /// Solves UMR for (platform, w_total) and wraps the result.
+  UmrPolicy(const platform::StarPlatform& platform, double w_total,
+            DispatchOrder order = DispatchOrder::kInOrder, const UmrOptions& options = {},
+            std::string name = "UMR");
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  std::optional<sim::Dispatch> next_dispatch(const sim::MasterContext& ctx) override;
+  [[nodiscard]] std::optional<des::SimTime> next_poll_time() const override;
+  [[nodiscard]] bool finished() const override;
+  [[nodiscard]] double total_work() const override { return total_work_; }
+
+  [[nodiscard]] const UmrSchedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] DispatchOrder order() const noexcept { return order_; }
+
+ private:
+  void skip_empty_slots();
+  void build_timetable(const platform::StarPlatform& platform);
+
+  std::string name_;
+  UmrSchedule schedule_;
+  DispatchOrder order_;
+  double total_work_ = 0.0;
+  /// sent_[j][k]: round j's chunk for selected-worker slot k already dispatched.
+  std::vector<std::vector<char>> sent_;
+  std::size_t current_round_ = 0;
+  std::size_t remaining_in_round_ = 0;
+  /// kTimetable only: planned send start time of each dispatch, flattened in
+  /// round-robin order; indexed by sent_count_.
+  std::vector<des::SimTime> timetable_;
+  std::size_t sent_count_ = 0;
+};
+
+}  // namespace rumr::core

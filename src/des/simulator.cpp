@@ -1,0 +1,69 @@
+#include "des/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rumr::des {
+
+EventId Simulator::schedule_at(SimTime t, Callback callback) {
+  assert(t >= now_ && "cannot schedule an event in the simulated past");
+  assert(callback && "event callback must be callable");
+  const EventId id = next_id_++;
+  queue_.push(PendingEvent{t < now_ ? now_ : t, id, std::move(callback)});
+  return id;
+}
+
+EventId Simulator::schedule_in(SimTime delay, Callback callback) {
+  assert(delay >= 0.0 && "negative event delay");
+  return schedule_at(now_ + (delay < 0.0 ? 0.0 : delay), std::move(callback));
+}
+
+bool Simulator::cancel(EventId id) {
+  // We cannot remove from the middle of the heap; mark and skip at pop time.
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    PendingEvent ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.callback();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty()) {
+    // Peek through cancelled entries without executing anything.
+    while (!queue_.empty()) {
+      const PendingEvent& top = queue_.top();
+      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        queue_.pop();
+        continue;
+      }
+      break;
+    }
+    if (queue_.empty() || queue_.top().time > deadline) break;
+    if (!step()) break;
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace rumr::des

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event simulation kernel.
+///
+/// This is the substrate standing in for the SimGrid toolkit the paper used:
+/// a simulated clock, a pending-event queue ordered by (time, insertion
+/// sequence), and callback-based event handlers. Ties are broken by insertion
+/// order, which makes every simulation fully deterministic.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace rumr::des {
+
+/// Simulated time, in seconds.
+using SimTime = double;
+
+/// Handle for a scheduled event, usable with Simulator::cancel().
+using EventId = std::uint64_t;
+
+/// Callback-driven discrete-event simulator.
+///
+/// Usage: schedule initial events, then call run(). Handlers may schedule
+/// further events. Event handlers run strictly in non-decreasing time order;
+/// events at equal times run in the order they were scheduled (FIFO).
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Schedules `callback` to fire at absolute time `t`. Requires t >= now().
+  /// Returns a handle that can be passed to cancel().
+  EventId schedule_at(SimTime t, Callback callback);
+
+  /// Schedules `callback` to fire `delay` seconds from now. Requires delay >= 0.
+  EventId schedule_in(SimTime delay, Callback callback);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a harmless no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Number of events whose handlers have been executed.
+  [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
+
+  /// Number of events still pending (including cancelled-but-not-popped).
+  [[nodiscard]] std::size_t events_pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// Executes the single next pending event. Returns false if none remain.
+  bool step();
+
+  /// Runs until the event queue is empty or `max_events` handlers have fired.
+  /// Returns the number of events executed by this call. The default cap is a
+  /// runaway-simulation guard, far above any legitimate run in this project.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Runs until the queue is empty or simulated time would exceed `deadline`.
+  /// Events scheduled exactly at `deadline` are executed.
+  std::size_t run_until(SimTime deadline, std::size_t max_events = kDefaultMaxEvents);
+
+  static constexpr std::size_t kDefaultMaxEvents = 500'000'000;
+
+ private:
+  struct PendingEvent {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const PendingEvent& a, const PendingEvent& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal-time events.
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace rumr::des

@@ -1,0 +1,54 @@
+#include "platform/heterogeneity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rumr::platform {
+
+namespace {
+
+/// Truncated-normal draw around `mean` with the given CV, floored at
+/// `floor_fraction * mean`.
+double draw(double mean, double cv, double floor_fraction, stats::Rng& rng) {
+  if (mean <= 0.0) return 0.0;
+  if (cv <= 0.0) return mean;
+  const double value = rng.normal(mean, cv * mean);
+  return std::max(value, floor_fraction * mean);
+}
+
+}  // namespace
+
+StarPlatform random_heterogeneous(const HeterogeneityParams& params, stats::Rng& rng) {
+  if (params.workers == 0) throw PlatformError("platform must have at least one worker");
+  const double mean_bandwidth =
+      params.bandwidth_over_ns * static_cast<double>(params.workers) * params.mean_speed;
+
+  std::vector<WorkerSpec> workers;
+  workers.reserve(params.workers);
+  for (std::size_t i = 0; i < params.workers; ++i) {
+    WorkerSpec spec;
+    spec.speed = draw(params.mean_speed, params.speed_cv, 0.1, rng);
+    spec.bandwidth = draw(mean_bandwidth, params.bandwidth_cv, 0.1, rng);
+    spec.comp_latency = draw(params.mean_comp_latency, params.comp_latency_cv, 0.0, rng);
+    spec.comm_latency = draw(params.mean_comm_latency, params.comm_latency_cv, 0.0, rng);
+    spec.transfer_latency = params.mean_transfer_latency;
+    workers.push_back(spec);
+  }
+  return StarPlatform(std::move(workers));
+}
+
+double speed_heterogeneity(const StarPlatform& platform) {
+  const auto n = static_cast<double>(platform.size());
+  double mean = 0.0;
+  for (const WorkerSpec& w : platform.workers()) mean += w.speed;
+  mean /= n;
+  if (mean <= 0.0) return 0.0;
+  double variance = 0.0;
+  for (const WorkerSpec& w : platform.workers()) {
+    variance += (w.speed - mean) * (w.speed - mean);
+  }
+  variance /= n;
+  return std::sqrt(variance) / mean;
+}
+
+}  // namespace rumr::platform

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file heterogeneity.hpp
+/// Random heterogeneous platform generation, for the heterogeneity study
+/// the RUMR paper defers to its UMR companion papers [17, 13] ("UMR
+/// tolerates high platform heterogeneity due to an effective resource
+/// selection technique").
+///
+/// Heterogeneity is parameterized by coefficients of variation (CV =
+/// stddev / mean): worker speeds and link bandwidths are drawn from
+/// truncated normals around their means, so CV = 0 degenerates exactly to a
+/// homogeneous platform and larger CVs widen the spread without changing
+/// the aggregate scale on average.
+
+#include "platform/platform.hpp"
+#include "stats/rng.hpp"
+
+namespace rumr::platform {
+
+/// Generator parameters. Means follow the Table 1 conventions: mean
+/// bandwidth is expressed as a multiple of the aggregate compute rate
+/// N * mean_speed, so the full-utilization condition is controlled the same
+/// way as in the homogeneous experiments.
+struct HeterogeneityParams {
+  std::size_t workers = 10;
+  double mean_speed = 1.0;
+  double speed_cv = 0.3;            ///< CV of worker speeds.
+  double bandwidth_over_ns = 1.5;   ///< Mean B as a multiple of N * mean_speed.
+  double bandwidth_cv = 0.3;        ///< CV of link bandwidths.
+  double mean_comp_latency = 0.2;
+  double comp_latency_cv = 0.0;
+  double mean_comm_latency = 0.1;
+  double comm_latency_cv = 0.0;
+  double mean_transfer_latency = 0.0;
+};
+
+/// Draws a random heterogeneous platform. Rates are truncated below at 10%
+/// of their mean (a zero-speed "worker" is not a worker); latencies at 0.
+[[nodiscard]] StarPlatform random_heterogeneous(const HeterogeneityParams& params,
+                                                stats::Rng& rng);
+
+/// Coefficient of variation of the worker speeds — the heterogeneity
+/// measure used by the benches (0 for homogeneous platforms).
+[[nodiscard]] double speed_heterogeneity(const StarPlatform& platform);
+
+}  // namespace rumr::platform

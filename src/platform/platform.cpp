@@ -1,0 +1,110 @@
+#include "platform/platform.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace rumr::platform {
+
+namespace {
+
+void validate_spec(const WorkerSpec& w, std::size_t index) {
+  const auto fail = [index](const std::string& what) {
+    throw PlatformError("worker " + std::to_string(index) + ": " + what);
+  };
+  if (!(w.speed > 0.0) || !std::isfinite(w.speed)) fail("speed must be positive and finite");
+  if (!(w.bandwidth > 0.0) || !std::isfinite(w.bandwidth)) {
+    fail("bandwidth must be positive and finite");
+  }
+  if (w.comp_latency < 0.0 || !std::isfinite(w.comp_latency)) {
+    fail("comp_latency must be non-negative and finite");
+  }
+  if (w.comm_latency < 0.0 || !std::isfinite(w.comm_latency)) {
+    fail("comm_latency must be non-negative and finite");
+  }
+  if (w.transfer_latency < 0.0 || !std::isfinite(w.transfer_latency)) {
+    fail("transfer_latency must be non-negative and finite");
+  }
+}
+
+}  // namespace
+
+StarPlatform::StarPlatform(std::vector<WorkerSpec> workers) : workers_(std::move(workers)) {
+  if (workers_.empty()) throw PlatformError("platform must have at least one worker");
+  for (std::size_t i = 0; i < workers_.size(); ++i) validate_spec(workers_[i], i);
+}
+
+StarPlatform StarPlatform::homogeneous(const HomogeneousParams& params) {
+  if (params.workers == 0) throw PlatformError("platform must have at least one worker");
+  const WorkerSpec spec{params.speed, params.bandwidth, params.comp_latency,
+                        params.comm_latency, params.transfer_latency};
+  return StarPlatform(std::vector<WorkerSpec>(params.workers, spec));
+}
+
+bool StarPlatform::is_homogeneous() const noexcept {
+  const WorkerSpec& first = workers_.front();
+  for (const WorkerSpec& w : workers_) {
+    if (w.speed != first.speed || w.bandwidth != first.bandwidth ||
+        w.comp_latency != first.comp_latency || w.comm_latency != first.comm_latency ||
+        w.transfer_latency != first.transfer_latency) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double StarPlatform::total_speed() const noexcept {
+  double total = 0.0;
+  for (const WorkerSpec& w : workers_) total += w.speed;
+  return total;
+}
+
+double StarPlatform::comp_time(std::size_t i, double chunk) const {
+  const WorkerSpec& w = worker(i);
+  return w.comp_latency + chunk / w.speed;
+}
+
+double StarPlatform::comm_serial_time(std::size_t i, double chunk) const {
+  const WorkerSpec& w = worker(i);
+  return w.comm_latency + chunk / w.bandwidth;
+}
+
+double StarPlatform::comm_time(std::size_t i, double chunk) const {
+  return comm_serial_time(i, chunk) + worker(i).transfer_latency;
+}
+
+double StarPlatform::utilization_ratio() const noexcept {
+  double ratio = 0.0;
+  for (const WorkerSpec& w : workers_) ratio += w.speed / w.bandwidth;
+  return ratio;
+}
+
+double StarPlatform::theta() const {
+  if (!is_homogeneous()) {
+    throw PlatformError("theta() is defined for homogeneous platforms only");
+  }
+  const WorkerSpec& w = workers_.front();
+  return w.bandwidth / (static_cast<double>(size()) * w.speed);
+}
+
+StarPlatform StarPlatform::subset(const std::vector<std::size_t>& indices) const {
+  std::vector<WorkerSpec> selected;
+  selected.reserve(indices.size());
+  for (std::size_t i : indices) selected.push_back(worker(i));
+  return StarPlatform(std::move(selected));
+}
+
+std::string StarPlatform::describe() const {
+  std::ostringstream out;
+  if (is_homogeneous()) {
+    const WorkerSpec& w = workers_.front();
+    out << "homogeneous star, N=" << size() << ", S=" << w.speed << ", B=" << w.bandwidth
+        << ", cLat=" << w.comp_latency << ", nLat=" << w.comm_latency
+        << ", tLat=" << w.transfer_latency;
+  } else {
+    out << "heterogeneous star, N=" << size() << ", total S=" << total_speed()
+        << ", sum S_i/B_i=" << utilization_ratio();
+  }
+  return out.str();
+}
+
+}  // namespace rumr::platform

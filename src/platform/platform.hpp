@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file platform.hpp
+/// Star master-worker platform model from RUMR (HPDC 2003), section 3.1.
+///
+/// N workers hang off a master. For a chunk of `c` workload units:
+///   - computation on worker i:   Tcomp_i = cLat_i + c / S_i          (Eq. 1)
+///   - master -> worker transfer: Tcomm_i = nLat_i + c / B_i + tLat_i (Eq. 2)
+/// The `nLat_i + c/B_i` portion serializes on the master's uplink; `tLat_i`
+/// (propagation of the last byte) overlaps with subsequent transfers.
+/// Workers have a "front end": they receive and compute simultaneously.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rumr::platform {
+
+/// Per-worker resource description.
+struct WorkerSpec {
+  double speed = 1.0;             ///< S_i: workload units computed per second. > 0.
+  double bandwidth = 1.0;         ///< B_i: workload units transferred per second. > 0.
+  double comp_latency = 0.0;      ///< cLat_i: fixed cost to start a computation (s). >= 0.
+  double comm_latency = 0.0;      ///< nLat_i: fixed cost to initiate a transfer (s). >= 0.
+  double transfer_latency = 0.0;  ///< tLat_i: last-byte propagation delay (s). >= 0.
+};
+
+/// Parameters for a homogeneous platform (all workers identical), matching
+/// Table 1 of the paper.
+struct HomogeneousParams {
+  std::size_t workers = 10;       ///< N.
+  double speed = 1.0;             ///< S.
+  double bandwidth = 12.0;        ///< B (paper uses B = (1.2..2.0) * N with S = 1).
+  double comp_latency = 0.0;      ///< cLat.
+  double comm_latency = 0.0;      ///< nLat.
+  double transfer_latency = 0.0;  ///< tLat.
+};
+
+/// Thrown when a platform description is invalid (non-positive rates, ...).
+class PlatformError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable star platform: a master plus N workers.
+class StarPlatform {
+ public:
+  /// Builds a platform from explicit worker specs. Throws PlatformError if
+  /// the description is invalid (no workers, non-positive rate, negative
+  /// latency).
+  explicit StarPlatform(std::vector<WorkerSpec> workers);
+
+  /// Builds a homogeneous platform.
+  [[nodiscard]] static StarPlatform homogeneous(const HomogeneousParams& params);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  [[nodiscard]] const WorkerSpec& worker(std::size_t i) const { return workers_.at(i); }
+  [[nodiscard]] const std::vector<WorkerSpec>& workers() const noexcept { return workers_; }
+
+  /// True when every worker has identical parameters.
+  [[nodiscard]] bool is_homogeneous() const noexcept;
+
+  /// Sum of worker speeds (workload units per second).
+  [[nodiscard]] double total_speed() const noexcept;
+
+  /// Predicted computation time for a chunk on worker i (Eq. 1).
+  [[nodiscard]] double comp_time(std::size_t i, double chunk) const;
+
+  /// Predicted serialized (master-occupying) part of a transfer to worker i:
+  /// nLat_i + chunk / B_i.
+  [[nodiscard]] double comm_serial_time(std::size_t i, double chunk) const;
+
+  /// Predicted end-to-end transfer time (Eq. 2): serialized part + tLat_i.
+  [[nodiscard]] double comm_time(std::size_t i, double chunk) const;
+
+  /// The UMR full-utilization figure: sum_i S_i / B_i. Multi-round schedules
+  /// with increasing chunks require this to be < 1 (the network can feed the
+  /// aggregate compute). For homogeneous platforms this is N*S/B = 1/theta.
+  [[nodiscard]] double utilization_ratio() const noexcept;
+
+  /// theta = B / (N * S) for homogeneous platforms: the geometric growth rate
+  /// of UMR chunk sizes. Throws PlatformError on heterogeneous platforms.
+  [[nodiscard]] double theta() const;
+
+  /// Returns a platform restricted to the given subset of workers (indices
+  /// into this platform, in the given order). Used by resource selection.
+  [[nodiscard]] StarPlatform subset(const std::vector<std::size_t>& indices) const;
+
+  /// Human-readable one-line description, for traces and reports.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<WorkerSpec> workers_;
+};
+
+}  // namespace rumr::platform

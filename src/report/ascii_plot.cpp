@@ -1,0 +1,106 @@
+#include "report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace rumr::report {
+
+namespace {
+
+constexpr const char* kGlyphs = "*+ox#@%&";
+
+/// Linear interpolation of a series at x (clamped to the series range); NaN
+/// for an empty series.
+double sample_series(const Series& s, double x) {
+  if (s.size() == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (x <= s.x.front()) return s.y.front();
+  if (x >= s.x.back()) return s.y.back();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (x <= s.x[i]) {
+      const double t = (x - s.x[i - 1]) / (s.x[i] - s.x[i - 1]);
+      return s.y[i - 1] + t * (s.y[i] - s.y[i - 1]);
+    }
+  }
+  return s.y.back();
+}
+
+}  // namespace
+
+std::string render_plot(const SeriesSet& set, const PlotOptions& options) {
+  if (set.empty() || options.width == 0 || options.height == 0) {
+    return "(no data)\n";
+  }
+
+  const double x_lo = set.min_x();
+  const double x_hi = set.max_x();
+  double y_lo = std::isnan(options.y_min) ? set.min_y() : options.y_min;
+  double y_hi = std::isnan(options.y_max) ? set.max_y() : options.y_max;
+  if (std::isnan(options.y_min) || std::isnan(options.y_max)) {
+    const double margin = 0.05 * std::max(1e-12, y_hi - y_lo);
+    if (std::isnan(options.y_min)) y_lo -= margin;
+    if (std::isnan(options.y_max)) y_hi += margin;
+  }
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  const double x_span = x_hi > x_lo ? x_hi - x_lo : 1.0;
+
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  const auto row_of = [&](double y) -> std::ptrdiff_t {
+    const double t = (y - y_lo) / (y_hi - y_lo);
+    return static_cast<std::ptrdiff_t>(std::lround((1.0 - t) * static_cast<double>(options.height - 1)));
+  };
+
+  for (std::size_t s = 0; s < set.series.size(); ++s) {
+    const char glyph = kGlyphs[s % 8];
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const double x = x_lo + x_span * static_cast<double>(c) / static_cast<double>(options.width - 1);
+      const double y = sample_series(set.series[s], x);
+      if (std::isnan(y)) continue;
+      const std::ptrdiff_t r = row_of(y);
+      if (r >= 0 && r < static_cast<std::ptrdiff_t>(options.height)) {
+        grid[static_cast<std::size_t>(r)][c] = glyph;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  if (!set.title.empty()) out << set.title << '\n';
+  const auto y_label = [&](std::size_t row) {
+    const double t = 1.0 - static_cast<double>(row) / static_cast<double>(options.height - 1);
+    std::ostringstream label;
+    label << std::setw(8) << std::fixed << std::setprecision(2) << (y_lo + t * (y_hi - y_lo));
+    return label.str();
+  };
+  for (std::size_t r = 0; r < options.height; ++r) {
+    const bool tick = r == 0 || r == options.height - 1 || r == options.height / 2;
+    out << (tick ? y_label(r) : std::string(8, ' ')) << " |" << grid[r] << '\n';
+  }
+  out << std::string(8, ' ') << " +" << std::string(options.width, '-') << '\n';
+  {
+    std::ostringstream xaxis;
+    xaxis << std::string(9, ' ') << std::fixed << std::setprecision(2) << x_lo;
+    std::string line = xaxis.str();
+    std::ostringstream hi_label;
+    hi_label << std::fixed << std::setprecision(2) << x_hi;
+    const std::size_t target = 10 + options.width - hi_label.str().size();
+    if (line.size() < target) line += std::string(target - line.size(), ' ');
+    line += hi_label.str();
+    out << line << '\n';
+  }
+  if (!set.x_label.empty() || !set.y_label.empty()) {
+    out << std::string(10, ' ') << "x: " << set.x_label << "   y: " << set.y_label << '\n';
+  }
+  if (options.include_legend) {
+    out << std::string(10, ' ');
+    for (std::size_t s = 0; s < set.series.size(); ++s) {
+      if (s > 0) out << "  ";
+      out << kGlyphs[s % 8] << ' ' << set.series[s].name;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rumr::report

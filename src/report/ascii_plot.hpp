@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file ascii_plot.hpp
+/// Terminal line plots: renders a SeriesSet onto a character grid with axes,
+/// tick labels, and a legend — how the bench harnesses show the paper's
+/// figures without a graphics stack. CSV output (csv.hpp) carries the exact
+/// numbers for external plotting.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "report/series.hpp"
+
+namespace rumr::report {
+
+/// Plot dimensions and options.
+struct PlotOptions {
+  std::size_t width = 72;    ///< Plot-area columns (excl. axis labels).
+  std::size_t height = 22;   ///< Plot-area rows.
+  bool include_legend = true;
+  /// Force the y range; NaN means auto (with a small margin).
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Renders the set as an ASCII chart. Each series gets a distinct glyph
+/// (assigned in order: * + o x # @ % &); points are connected by linear
+/// interpolation across columns.
+[[nodiscard]] std::string render_plot(const SeriesSet& set, const PlotOptions& options = {});
+
+}  // namespace rumr::report

@@ -1,0 +1,42 @@
+#include "report/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace rumr::report {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void write_csv(std::ostream& out, const SeriesSet& set) {
+  out << "series," << csv_escape(set.x_label.empty() ? "x" : set.x_label) << ','
+      << csv_escape(set.y_label.empty() ? "y" : set.y_label) << '\n';
+  for (const Series& s : set.series) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      out << csv_escape(s.name) << ',' << s.x[i] << ',' << s.y[i] << '\n';
+    }
+  }
+}
+
+std::string to_csv(const SeriesSet& set) {
+  std::ostringstream out;
+  write_csv(out, set);
+  return out.str();
+}
+
+bool save_csv(const std::string& path, const SeriesSet& set) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_csv(out, set);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rumr::report

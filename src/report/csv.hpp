@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV emission for sweep results and figures, so external tooling can
+/// re-plot the exact numbers the benches print.
+
+#include <iosfwd>
+#include <string>
+
+#include "report/series.hpp"
+
+namespace rumr::report {
+
+/// Writes a SeriesSet as long-form CSV: `series,x,y` with a header row.
+void write_csv(std::ostream& out, const SeriesSet& set);
+
+/// Same, to a string.
+[[nodiscard]] std::string to_csv(const SeriesSet& set);
+
+/// Writes a SeriesSet to `path` (truncating). Returns false on I/O failure.
+bool save_csv(const std::string& path, const SeriesSet& set);
+
+/// Escapes a CSV field (quotes it when it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace rumr::report

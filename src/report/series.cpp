@@ -1,0 +1,61 @@
+#include "report/series.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rumr::report {
+
+const Series* SeriesSet::find(const std::string& name) const {
+  for (const Series& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+template <typename Select, typename Reduce>
+double fold(const SeriesSet& set, Select select, Reduce reduce, double init) {
+  double acc = init;
+  for (const Series& s : set.series) {
+    for (std::size_t i = 0; i < s.size(); ++i) acc = reduce(acc, select(s, i));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double SeriesSet::min_x() const {
+  return fold(
+      *this, [](const Series& s, std::size_t i) { return s.x[i]; },
+      [](double a, double b) { return std::min(a, b); }, std::numeric_limits<double>::infinity());
+}
+
+double SeriesSet::max_x() const {
+  return fold(
+      *this, [](const Series& s, std::size_t i) { return s.x[i]; },
+      [](double a, double b) { return std::max(a, b); },
+      -std::numeric_limits<double>::infinity());
+}
+
+double SeriesSet::min_y() const {
+  return fold(
+      *this, [](const Series& s, std::size_t i) { return s.y[i]; },
+      [](double a, double b) { return std::min(a, b); }, std::numeric_limits<double>::infinity());
+}
+
+double SeriesSet::max_y() const {
+  return fold(
+      *this, [](const Series& s, std::size_t i) { return s.y[i]; },
+      [](double a, double b) { return std::max(a, b); },
+      -std::numeric_limits<double>::infinity());
+}
+
+bool SeriesSet::empty() const noexcept {
+  for (const Series& s : series) {
+    if (s.size() > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rumr::report

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file series.hpp
+/// Named (x, y) data series — the unit of exchange between the sweep results
+/// and the plotting/CSV emitters. Each of the paper's figures is a
+/// SeriesSet: one series per algorithm, error on the x axis.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rumr::report {
+
+/// One named polyline.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+/// A collection of series sharing axes (one figure).
+struct SeriesSet {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<Series> series;
+
+  [[nodiscard]] const Series* find(const std::string& name) const;
+  [[nodiscard]] double min_x() const;
+  [[nodiscard]] double max_x() const;
+  [[nodiscard]] double min_y() const;
+  [[nodiscard]] double max_y() const;
+  [[nodiscard]] bool empty() const noexcept;
+};
+
+}  // namespace rumr::report

@@ -1,0 +1,331 @@
+#include "sim/master_worker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+#include <limits>
+#include <sstream>
+
+#include "des/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace rumr::sim {
+
+double SimResult::mean_worker_utilization() const {
+  if (workers.empty() || makespan <= 0.0) return 0.0;
+  double total = 0.0;
+  for (const WorkerOutcome& w : workers) total += w.busy_time / makespan;
+  return total / static_cast<double>(workers.size());
+}
+
+namespace {
+
+/// A chunk sitting in a worker's receive queue, waiting for the CPU.
+struct QueuedChunk {
+  double chunk = 0.0;
+  double predicted_comp = 0.0;
+};
+
+/// Full engine state; implements the policy-visible MasterContext view.
+class Engine final : public MasterContext {
+ public:
+  Engine(const platform::StarPlatform& platform, SchedulerPolicy& policy,
+         const SimOptions& options)
+      : platform_(platform),
+        policy_(policy),
+        options_(options),
+        rng_(options.seed),
+        comm_process_(options.comm_error),
+        comp_process_(options.comp_error),
+        status_(platform.size()),
+        outcomes_(platform.size()),
+        queues_(platform.size()),
+        computing_(platform.size(), false),
+        in_flight_(platform.size(), 0),
+        pending_pred_comp_(platform.size()) {
+    if (options.worker_buffer_capacity == 0) {
+      throw SimError("worker_buffer_capacity must be >= 1 (1 models the double-buffered "
+                     "front-end; SIZE_MAX disables blocking)");
+    }
+    if (options.uplink_channels == 0) {
+      throw SimError("uplink_channels must be >= 1");
+    }
+    if (options.output_ratio < 0.0 || !std::isfinite(options.output_ratio)) {
+      throw SimError("output_ratio must be non-negative and finite");
+    }
+  }
+
+  // MasterContext -----------------------------------------------------------
+  [[nodiscard]] des::SimTime now() const override { return sim_.now(); }
+  [[nodiscard]] const platform::StarPlatform& platform() const override { return platform_; }
+  [[nodiscard]] std::size_t num_workers() const override { return platform_.size(); }
+  [[nodiscard]] const WorkerStatus& worker_status(std::size_t i) const override {
+    return status_.at(i);
+  }
+  [[nodiscard]] bool can_receive(std::size_t i) const override {
+    return committed_slots(i) < options_.worker_buffer_capacity;
+  }
+
+  SimResult run() {
+    try_dispatch();
+    sim_.run();
+    finalize_checks();
+
+    SimResult result;
+    result.makespan = makespan_;
+    result.chunks_dispatched = chunks_dispatched_;
+    result.work_dispatched = work_dispatched_;
+    result.uplink_busy_time = uplink_busy_time_;
+    result.downlink_busy_time = downlink_busy_time_;
+    result.events = sim_.events_processed();
+    result.workers = outcomes_;
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  /// Buffer slots committed at worker w: chunks received but not yet
+  /// computing, plus chunks in flight toward it.
+  [[nodiscard]] std::size_t committed_slots(std::size_t w) const {
+    return queues_[w].size() + in_flight_[w];
+  }
+
+  void try_dispatch() {
+    // The pending (blocked) send is the head of the master's queue; nothing
+    // may overtake it.
+    while (busy_channels_ < options_.uplink_channels && !pending_send_) {
+      const std::optional<Dispatch> next = policy_.next_dispatch(*this);
+      if (!next) {
+        schedule_timed_poll();
+        return;
+      }
+      if (committed_slots(next->worker) >= options_.worker_buffer_capacity) {
+        // Rendezvous semantics: the target cannot post a receive, so the
+        // master blocks — a channel is held (head-of-line blocking) until
+        // the worker frees a buffer slot.
+        pending_send_ = *next;
+        ++busy_channels_;
+        return;
+      }
+      begin_send(*next);
+    }
+  }
+
+  /// Supports timetable-driven policies: when the policy declines to
+  /// dispatch but names a wake-up time, poll again then. Deduplicated so at
+  /// most one poll event is outstanding.
+  void schedule_timed_poll() {
+    const std::optional<des::SimTime> wanted = policy_.next_poll_time();
+    if (!wanted || *wanted <= sim_.now()) return;
+    if (scheduled_poll_ <= *wanted) return;  // An earlier poll is already pending.
+    scheduled_poll_ = *wanted;
+    sim_.schedule_at(*wanted, [this, at = *wanted] {
+      if (scheduled_poll_ == at) scheduled_poll_ = kNoPoll;
+      try_dispatch();
+    });
+  }
+
+  void begin_send(const Dispatch& d) {
+    validate_dispatch(d);
+    const std::size_t w = d.worker;
+    const double chunk = d.chunk;
+
+    const double predicted_serial = platform_.comm_serial_time(w, chunk);
+    const double predicted_tail = platform_.worker(w).transfer_latency;
+    const double predicted_comp = platform_.comp_time(w, chunk);
+    const double actual_serial = comm_process_.actual_duration(predicted_serial, rng_);
+    const double actual_tail = comm_process_.actual_duration(predicted_tail, rng_);
+
+    const des::SimTime t0 = sim_.now();
+    const des::SimTime uplink_free = t0 + actual_serial;
+    const des::SimTime arrival = uplink_free + actual_tail;
+
+    ++busy_channels_;
+    uplink_busy_time_ += actual_serial;
+    ++chunks_dispatched_;
+    work_dispatched_ += chunk;
+    ++in_flight_[w];
+
+    // Master-side prediction bookkeeping (what the master believes, built
+    // from the unperturbed model).
+    WorkerStatus& st = status_[w];
+    ++st.outstanding;
+    const des::SimTime predicted_arrival = t0 + predicted_serial + predicted_tail;
+    st.predicted_ready = std::max(st.predicted_ready, predicted_arrival) + predicted_comp;
+    pending_pred_comp_[w].push_back(predicted_comp);
+
+    if (options_.record_trace) {
+      trace_.add({SpanKind::kUplink, w, chunk, t0, uplink_free});
+      if (actual_tail > 0.0) trace_.add({SpanKind::kTail, w, chunk, uplink_free, arrival});
+    }
+
+    sim_.schedule_at(uplink_free, [this] {
+      --busy_channels_;
+      try_dispatch();
+    });
+    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp] {
+      --in_flight_[w];
+      queues_[w].push_back({chunk, predicted_comp});
+      maybe_start_compute(w);
+    });
+  }
+
+  void maybe_start_compute(std::size_t w) {
+    if (computing_[w] || queues_[w].empty()) return;
+    const QueuedChunk next = queues_[w].front();
+    queues_[w].pop_front();
+    computing_[w] = true;
+
+    // Popping freed a buffer slot; a blocked send waiting on this worker can
+    // proceed now (its transfer time starts here, after the wait). Release
+    // the reserved channel first: begin_send re-acquires it.
+    if (pending_send_ && pending_send_->worker == w &&
+        committed_slots(w) < options_.worker_buffer_capacity) {
+      const Dispatch unblocked = *pending_send_;
+      pending_send_.reset();
+      --busy_channels_;
+      begin_send(unblocked);
+    }
+
+    const double actual_comp = comp_process_.actual_duration(next.predicted_comp, rng_);
+    const des::SimTime t0 = sim_.now();
+    const des::SimTime t1 = t0 + actual_comp;
+
+    WorkerOutcome& out = outcomes_[w];
+    if (out.chunks == 0) out.first_start = t0;
+    if (options_.record_trace) trace_.add({SpanKind::kCompute, w, next.chunk, t0, t1});
+
+    sim_.schedule_at(t1, [this, w, next, actual_comp, t1] {
+      complete_chunk(w, next, actual_comp, t1);
+    });
+  }
+
+  void complete_chunk(std::size_t w, const QueuedChunk& done, double actual_comp,
+                      des::SimTime t1) {
+    computing_[w] = false;
+
+    WorkerOutcome& out = outcomes_[w];
+    out.work += done.chunk;
+    ++out.chunks;
+    out.busy_time += actual_comp;
+    out.last_end = t1;
+    makespan_ = std::max(makespan_, t1);
+
+    WorkerStatus& st = status_[w];
+    --st.outstanding;
+    st.completed_work += done.chunk;
+    ++st.completed_chunks;
+    st.last_completion = t1;
+    // Re-anchor the prediction on observed reality: the worker will be busy
+    // for (predicted) the sum of computations still owed to it.
+    if (!pending_pred_comp_[w].empty()) pending_pred_comp_[w].pop_front();
+    double remaining_pred = 0.0;
+    for (double p : pending_pred_comp_[w]) remaining_pred += p;
+    st.predicted_ready = t1 + remaining_pred;
+
+    const CompletionInfo info{w, done.chunk, done.predicted_comp, actual_comp, t1};
+    policy_.on_chunk_completed(*this, info);
+
+    if (options_.output_ratio > 0.0) enqueue_output(w, done.chunk * options_.output_ratio);
+
+    maybe_start_compute(w);
+    try_dispatch();
+  }
+
+  /// Output-data model: results return to the master over a shared,
+  /// serialized downlink (FIFO). The makespan extends to the last arrival.
+  void enqueue_output(std::size_t w, double amount) {
+    output_queue_.push_back({w, amount});
+    maybe_start_output();
+  }
+
+  void maybe_start_output() {
+    if (downlink_busy_ || output_queue_.empty()) return;
+    const auto [w, amount] = output_queue_.front();
+    output_queue_.pop_front();
+    downlink_busy_ = true;
+
+    const platform::WorkerSpec& spec = platform_.worker(w);
+    const double predicted =
+        spec.comm_latency + amount / spec.bandwidth + spec.transfer_latency;
+    const double actual = comm_process_.actual_duration(predicted, rng_);
+    const des::SimTime t0 = sim_.now();
+    const des::SimTime t1 = t0 + actual;
+    downlink_busy_time_ += actual;
+    if (options_.record_trace) trace_.add({SpanKind::kOutput, w, amount, t0, t1});
+    sim_.schedule_at(t1, [this, t1] {
+      downlink_busy_ = false;
+      makespan_ = std::max(makespan_, t1);
+      maybe_start_output();
+    });
+  }
+
+  void validate_dispatch(const Dispatch& d) const {
+    if (d.worker >= platform_.size()) {
+      throw SimError("policy '" + std::string(policy_.name()) + "' dispatched to worker " +
+                     std::to_string(d.worker) + " of " + std::to_string(platform_.size()));
+    }
+    if (!(d.chunk > 0.0) || !std::isfinite(d.chunk)) {
+      throw SimError("policy '" + std::string(policy_.name()) +
+                     "' dispatched a non-positive chunk: " + std::to_string(d.chunk));
+    }
+  }
+
+  void finalize_checks() const {
+    if (!policy_.finished()) {
+      std::ostringstream msg;
+      msg << "policy '" << policy_.name() << "' deadlocked: simulation drained at t=" << sim_.now()
+          << " with the policy unfinished (" << work_dispatched_ << " of " << policy_.total_work()
+          << " units dispatched)";
+      throw SimError(msg.str());
+    }
+    const double expected = policy_.total_work();
+    const double scale = std::max(1.0, std::abs(expected));
+    if (std::abs(work_dispatched_ - expected) > options_.work_tolerance * scale) {
+      std::ostringstream msg;
+      msg << "policy '" << policy_.name() << "' dispatched " << work_dispatched_
+          << " units, expected " << expected << " (tolerance " << options_.work_tolerance << ")";
+      throw SimError(msg.str());
+    }
+  }
+
+  const platform::StarPlatform& platform_;
+  SchedulerPolicy& policy_;
+  const SimOptions& options_;
+  des::Simulator sim_;
+  stats::Rng rng_;
+  stats::ErrorProcess comm_process_;
+  stats::ErrorProcess comp_process_;
+
+  static constexpr des::SimTime kNoPoll = std::numeric_limits<des::SimTime>::infinity();
+
+  std::size_t busy_channels_ = 0;
+  bool downlink_busy_ = false;
+  std::deque<std::pair<std::size_t, double>> output_queue_;
+  des::SimTime scheduled_poll_ = kNoPoll;
+  double uplink_busy_time_ = 0.0;
+  double downlink_busy_time_ = 0.0;
+  double makespan_ = 0.0;
+  std::size_t chunks_dispatched_ = 0;
+  double work_dispatched_ = 0.0;
+
+  std::vector<WorkerStatus> status_;
+  std::vector<WorkerOutcome> outcomes_;
+  std::vector<std::deque<QueuedChunk>> queues_;
+  std::vector<char> computing_;
+  std::vector<std::size_t> in_flight_;
+  std::optional<Dispatch> pending_send_;
+  std::vector<std::deque<double>> pending_pred_comp_;
+  Trace trace_;
+};
+
+}  // namespace
+
+SimResult simulate(const platform::StarPlatform& platform, SchedulerPolicy& policy,
+                   const SimOptions& options) {
+  Engine engine(platform, policy, options);
+  return engine.run();
+}
+
+}  // namespace rumr::sim

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file master_worker.hpp
+/// Master-worker execution engine on a star platform.
+///
+/// Semantics (paper section 3.1, Figure 2):
+///   - The master's uplink is a serial resource: at most one transfer's
+///     `nLat + chunk/B` portion occupies it at a time; the `tLat` tail
+///     overlaps with subsequent transfers.
+///   - Workers have a front end: they can receive a chunk while computing
+///     another. Chunks queue FIFO at the worker.
+///   - Every transfer and every computation duration is perturbed by the
+///     prediction-error model (section 4.1): actual = predicted * ratio,
+///     ratio ~ N(1, error) truncated positive (or its uniform variant).
+///
+/// The engine polls the SchedulerPolicy whenever the uplink is free and after
+/// every completion notification, so both precomputed-schedule policies
+/// (UMR, MI-x) and greedy self-scheduling policies (Factoring, FSC, RUMR
+/// phase 2) run under identical mechanics.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/policy.hpp"
+#include "sim/trace.hpp"
+#include "stats/error_process.hpp"
+
+namespace rumr::sim {
+
+/// Thrown when a policy misbehaves (invalid dispatch, deadlock, or work
+/// non-conservation).
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Engine configuration.
+struct SimOptions {
+  /// Perturbation applied to transfers. Accepts a plain ErrorModel
+  /// (stationary, the paper's setting) or a full ErrorProcessSpec
+  /// (random-walk / burst dynamics — the paper's future-work models).
+  stats::ErrorProcessSpec comm_error{};
+  /// Perturbation applied to computations (same contract).
+  stats::ErrorProcessSpec comp_error{};
+  std::uint64_t seed = 1;          ///< RNG seed; same seed => identical run.
+  bool record_trace = false;       ///< Record a Gantt trace (costs memory).
+  double work_tolerance = 1e-6;    ///< Relative conservation-check tolerance.
+
+  /// Number of master uplink channels that can carry the serialized
+  /// (nLat + chunk/B) part of transfers simultaneously. 1 is the paper's
+  /// model ("the master does not send chunks to workers simultaneously");
+  /// higher values model the simultaneous-transfer variant the paper
+  /// sketches as future work for WAN settings.
+  std::size_t uplink_channels = 1;
+
+  /// Output-data model: after computing a chunk, the worker returns
+  /// output_ratio * chunk units of result data to the master over a shared
+  /// serialized downlink (duration nLat_i + out/B_i + tLat_i). 0 restores
+  /// the paper's input-only model; the makespan then includes the arrival of
+  /// the last output (cf. the one-round output-aware treatments [11, 12]
+  /// cited in section 3.1).
+  double output_ratio = 0.0;
+
+  /// How many received-but-not-yet-computing chunks a worker can hold.
+  /// 1 models the classic double-buffered front-end — the worker posts one
+  /// receive while computing (paper's "with front-end" model [21]); a send
+  /// to a worker whose buffer is full blocks the master's uplink until the
+  /// worker frees the slot (rendezvous semantics), creating the head-of-line
+  /// blocking that makes precalculated schedules fragile under prediction
+  /// error. SIZE_MAX gives infinitely deep buffers (no blocking), an
+  /// idealization benchmarked in the ablation suite.
+  std::size_t worker_buffer_capacity = 1;
+
+  /// Convenience: same error level on both resources with the paper's
+  /// truncated-normal model.
+  [[nodiscard]] static SimOptions with_error(double error, std::uint64_t seed = 1) {
+    SimOptions o;
+    o.comm_error = stats::ErrorModel::truncated_normal(error);
+    o.comp_error = stats::ErrorModel::truncated_normal(error);
+    o.seed = seed;
+    return o;
+  }
+};
+
+/// Per-worker outcome statistics.
+struct WorkerOutcome {
+  double work = 0.0;        ///< Workload units computed.
+  std::size_t chunks = 0;   ///< Chunks computed.
+  double busy_time = 0.0;   ///< Total time spent computing.
+  double first_start = 0.0; ///< When the first computation began.
+  double last_end = 0.0;    ///< When the last computation finished.
+};
+
+/// Result of a simulated run.
+struct SimResult {
+  /// Completion time of the last chunk (or of the last output transfer when
+  /// the output-data model is enabled).
+  double makespan = 0.0;
+  std::size_t chunks_dispatched = 0;
+  double work_dispatched = 0.0;
+  double uplink_busy_time = 0.0;      ///< Total serialized transfer time.
+  double downlink_busy_time = 0.0;    ///< Output transfers (0 unless enabled).
+  std::size_t events = 0;             ///< DES events executed.
+  std::vector<WorkerOutcome> workers;
+  Trace trace;                        ///< Populated iff record_trace.
+
+  /// Mean worker utilization: busy time / makespan, averaged over workers.
+  [[nodiscard]] double mean_worker_utilization() const;
+};
+
+/// Runs one policy to completion on one platform.
+///
+/// Throws SimError if the policy emits an invalid dispatch, deadlocks
+/// (unfinished with no pending events), or fails work conservation.
+[[nodiscard]] SimResult simulate(const platform::StarPlatform& platform, SchedulerPolicy& policy,
+                                 const SimOptions& options);
+
+}  // namespace rumr::sim

@@ -1,0 +1,68 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rumr::sim {
+
+std::vector<TraceSpan> Trace::filter(SpanKind kind) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.kind == kind) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> Trace::for_worker(std::size_t worker) const {
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.worker == worker) out.push_back(s);
+  }
+  return out;
+}
+
+des::SimTime Trace::end_time() const noexcept {
+  des::SimTime latest = 0.0;
+  for (const TraceSpan& s : spans_) latest = std::max(latest, s.end);
+  return latest;
+}
+
+std::string Trace::render_gantt(std::size_t num_workers, std::size_t width) const {
+  const des::SimTime horizon = end_time();
+  if (horizon <= 0.0 || width == 0) return "(empty trace)\n";
+
+  // Row 0: master uplink. Rows 1..N: workers.
+  std::vector<std::string> rows(num_workers + 1, std::string(width, ' '));
+  const auto column = [&](des::SimTime t) {
+    const auto c = static_cast<std::ptrdiff_t>(std::floor(t / horizon * static_cast<double>(width)));
+    return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        c, 0, static_cast<std::ptrdiff_t>(width) - 1));
+  };
+
+  for (const TraceSpan& s : spans_) {
+    const bool master_row = s.kind == SpanKind::kUplink || s.kind == SpanKind::kOutput;
+    const std::size_t row = master_row ? 0 : s.worker + 1;
+    if (row >= rows.size()) continue;
+    const char mark = s.kind == SpanKind::kUplink ? '#'
+                      : s.kind == SpanKind::kOutput ? 'o'
+                      : s.kind == SpanKind::kCompute ? '='
+                                                     : '.';
+    const std::size_t c0 = column(s.start);
+    const std::size_t c1 = column(std::nextafter(s.end, s.start));
+    for (std::size_t c = c0; c <= c1 && c < width; ++c) {
+      // Compute marks dominate tail marks when they overlap in a cell.
+      if (rows[row][c] == ' ' || mark == '=') rows[row][c] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  out << "time 0 .. " << horizon << " s  (#=uplink busy, ==compute, .=tail, o=output)\n";
+  out << "master  |" << rows[0] << "|\n";
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    out << "work " << w << (w < 10 ? "  |" : " |") << rows[w + 1] << "|\n";
+  }
+  return out.str();
+}
+
+}  // namespace rumr::sim

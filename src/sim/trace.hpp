@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file trace.hpp
+/// Execution-trace recording and Gantt rendering for simulated runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace rumr::sim {
+
+/// What a trace span represents.
+enum class SpanKind : unsigned char {
+  kUplink,   ///< Master uplink busy sending (the serialized nLat + chunk/B part).
+  kTail,     ///< Last-byte propagation (tLat), overlappable.
+  kCompute,  ///< Worker computing a chunk (cLat + chunk/S, perturbed).
+  kOutput,   ///< Output data returning over the master downlink (optional model).
+};
+
+/// One half-open activity interval [start, end).
+struct TraceSpan {
+  SpanKind kind = SpanKind::kUplink;
+  std::size_t worker = 0;
+  double chunk = 0.0;
+  des::SimTime start = 0.0;
+  des::SimTime end = 0.0;
+};
+
+/// Append-only trace of a simulated run.
+class Trace {
+ public:
+  void add(const TraceSpan& span) { spans_.push_back(span); }
+  void clear() noexcept { spans_.clear(); }
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+
+  /// All spans of one kind, in insertion (time) order.
+  [[nodiscard]] std::vector<TraceSpan> filter(SpanKind kind) const;
+
+  /// All spans touching one worker, in insertion order.
+  [[nodiscard]] std::vector<TraceSpan> for_worker(std::size_t worker) const;
+
+  /// Latest end time across all spans (0 for an empty trace).
+  [[nodiscard]] des::SimTime end_time() const noexcept;
+
+  /// ASCII Gantt chart: one row for the master uplink plus one per worker,
+  /// `width` character columns spanning [0, end_time()]. '#' marks uplink
+  /// busy, '=' compute, '.' tail propagation. This reproduces the structure
+  /// of the paper's Figures 2 and 3 in text form.
+  [[nodiscard]] std::string render_gantt(std::size_t num_workers, std::size_t width = 100) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace rumr::sim

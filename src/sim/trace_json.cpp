@@ -1,0 +1,64 @@
+#include "sim/trace_json.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace rumr::sim {
+
+namespace {
+
+const char* span_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kUplink:
+      return "send";
+    case SpanKind::kTail:
+      return "tail";
+    case SpanKind::kCompute:
+      return "compute";
+    case SpanKind::kOutput:
+      return "output";
+  }
+  return "span";
+}
+
+long long span_tid(const TraceSpan& span) {
+  switch (span.kind) {
+    case SpanKind::kUplink:
+      return 0;
+    case SpanKind::kOutput:
+      return 1;
+    case SpanKind::kTail:
+    case SpanKind::kCompute:
+      return 10 + static_cast<long long>(span.worker);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string to_chrome_tracing(const Trace& trace) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& span : trace.spans()) {
+    if (!first) out << ',';
+    first = false;
+    const double ts_us = span.start * 1e6;
+    const double dur_us = std::max(0.0, span.end - span.start) * 1e6;
+    out << "{\"name\":\"" << span_name(span.kind) << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+        << span_tid(span) << ",\"ts\":" << ts_us << ",\"dur\":" << dur_us
+        << ",\"args\":{\"worker\":" << span.worker << ",\"chunk\":" << span.chunk << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool save_chrome_tracing(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_chrome_tracing(trace);
+  return static_cast<bool>(out);
+}
+
+}  // namespace rumr::sim

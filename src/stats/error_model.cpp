@@ -1,0 +1,35 @@
+#include "stats/error_model.hpp"
+
+#include <cmath>
+
+namespace rumr::stats {
+
+double ErrorModel::sample_ratio(Rng& rng) const {
+  switch (distribution_) {
+    case ErrorDistribution::kNone:
+      return 1.0;
+    case ErrorDistribution::kTruncatedNormal: {
+      // Truncated normal: resample until the ratio is usable. For error
+      // levels up to 0.5 (the paper's range) rejection is vanishingly rare.
+      double ratio = rng.normal(1.0, error_);
+      int guard = 0;
+      while (ratio < kMinRatio && guard++ < 1000) ratio = rng.normal(1.0, error_);
+      return ratio < kMinRatio ? kMinRatio : ratio;
+    }
+    case ErrorDistribution::kUniform: {
+      // Half-width sqrt(3)*error gives standard deviation exactly `error`.
+      const double half_width = std::sqrt(3.0) * error_;
+      const double ratio = rng.uniform(1.0 - half_width, 1.0 + half_width);
+      return ratio < kMinRatio ? kMinRatio : ratio;
+    }
+  }
+  return 1.0;
+}
+
+double ErrorModel::actual_duration(double predicted, Rng& rng) const {
+  if (predicted <= 0.0) return predicted;
+  if (distribution_ == ErrorDistribution::kNone) return predicted;
+  return predicted * sample_ratio(rng);
+}
+
+}  // namespace rumr::stats

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file error_model.hpp
+/// Performance-prediction error model from RUMR (HPDC 2003), section 4.1.
+///
+/// The paper models uncertainty as: the ratio between predicted and
+/// effective (actual) execution time is normally distributed with mean 1 and
+/// standard deviation `error`, truncated to stay positive. We apply the
+/// ratio multiplicatively — `actual = predicted * ratio` — i.e. actual task
+/// times are normally distributed around the prediction, matching the
+/// uncertainty models of Factoring [14] and Hagerup [15] that the paper
+/// builds on. (The literal inverse reading, `predicted / ratio`, has a
+/// heavy 1/Normal tail under which a single chunk can randomly run 100x
+/// long; the truncation "to avoid negative values" only makes sense for the
+/// multiplicative form. See DESIGN.md.) The paper also reports running every
+/// experiment under a uniformly distributed error model with "essentially
+/// similar" results; we implement that variant with a matched standard
+/// deviation so `error` means the same thing for both.
+
+#include <cstdint>
+
+#include "stats/rng.hpp"
+
+namespace rumr::stats {
+
+/// Which distribution the prediction-error ratio is drawn from.
+enum class ErrorDistribution : std::uint8_t {
+  kNone,             ///< Perfect predictions: actual == predicted.
+  kTruncatedNormal,  ///< ratio ~ N(1, error), truncated below at kMinRatio.
+  kUniform,          ///< ratio ~ U(1 - sqrt(3)*error, 1 + sqrt(3)*error), same stddev.
+};
+
+/// Stationary prediction-error model applied independently to every transfer
+/// and every computation in the simulator.
+class ErrorModel {
+ public:
+  /// Ratios below this are resampled (normal) or clamped (uniform); the paper
+  /// truncates the distribution "to avoid negative values".
+  static constexpr double kMinRatio = 0.01;
+
+  constexpr ErrorModel() noexcept = default;
+
+  constexpr ErrorModel(ErrorDistribution distribution, double error) noexcept
+      : distribution_(error > 0.0 ? distribution : ErrorDistribution::kNone),
+        error_(error > 0.0 ? error : 0.0) {}
+
+  /// Convenience factory for the paper's default model.
+  [[nodiscard]] static constexpr ErrorModel truncated_normal(double error) noexcept {
+    return {ErrorDistribution::kTruncatedNormal, error};
+  }
+
+  /// Convenience factory for the matched-variance uniform variant.
+  [[nodiscard]] static constexpr ErrorModel uniform(double error) noexcept {
+    return {ErrorDistribution::kUniform, error};
+  }
+
+  /// Convenience factory for perfect predictions.
+  [[nodiscard]] static constexpr ErrorModel none() noexcept { return {}; }
+
+  [[nodiscard]] constexpr ErrorDistribution distribution() const noexcept { return distribution_; }
+  [[nodiscard]] constexpr double error() const noexcept { return error_; }
+  [[nodiscard]] constexpr bool is_exact() const noexcept {
+    return distribution_ == ErrorDistribution::kNone;
+  }
+
+  /// Draws a predicted/actual ratio (>= kMinRatio, mean ~1).
+  [[nodiscard]] double sample_ratio(Rng& rng) const;
+
+  /// Perturbs a predicted duration: returns `predicted / ratio`. A predicted
+  /// duration of zero stays zero (nothing to perturb).
+  [[nodiscard]] double actual_duration(double predicted, Rng& rng) const;
+
+ private:
+  ErrorDistribution distribution_ = ErrorDistribution::kNone;
+  double error_ = 0.0;
+};
+
+}  // namespace rumr::stats

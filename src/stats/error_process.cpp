@@ -1,0 +1,38 @@
+#include "stats/error_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rumr::stats {
+
+double ErrorProcess::actual_duration(double predicted, Rng& rng) {
+  if (is_exact() || predicted <= 0.0) return predicted;
+  const ErrorModel model(spec_.base.distribution() == ErrorDistribution::kNone
+                             ? ErrorDistribution::kTruncatedNormal
+                             : spec_.base.distribution(),
+                         current_error());
+  const double actual = model.actual_duration(predicted, rng);
+  advance(rng);
+  return actual;
+}
+
+void ErrorProcess::advance(Rng& rng) {
+  switch (spec_.dynamics) {
+    case ErrorDynamics::kStationary:
+      return;
+    case ErrorDynamics::kRandomWalk: {
+      level_ += rng.normal(0.0, spec_.walk_step);
+      // Reflect into [0, walk_max].
+      if (level_ < 0.0) level_ = -level_;
+      if (level_ > spec_.walk_max) level_ = 2.0 * spec_.walk_max - level_;
+      level_ = std::clamp(level_, 0.0, spec_.walk_max);
+      return;
+    }
+    case ErrorDynamics::kBurst: {
+      if (rng.uniform01() < spec_.switch_probability) in_burst_ = !in_burst_;
+      return;
+    }
+  }
+}
+
+}  // namespace rumr::stats

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file error_process.hpp
+/// Non-stationary prediction-error processes.
+///
+/// The paper assumes the prediction-error distribution is stationary and
+/// defers "more complex and realistic error distribution models" to future
+/// work (sections 4.1 and 6), noting that RUMR "should still be effective"
+/// when the distribution drifts slowly because phase 2 uses no predictions.
+/// This module implements that future work: an error *process* whose
+/// magnitude evolves as operations execute.
+///
+///   - kStationary:  the paper's model; the magnitude never changes.
+///   - kRandomWalk:  the magnitude performs a reflected Gaussian random walk
+///                   in [0, walk_max] — slow drift (load building up on a
+///                   shared cluster).
+///   - kBurst:       two-regime Markov switching between the base magnitude
+///                   and burst_factor times it — abrupt interference (a
+///                   competing job arriving and leaving).
+///
+/// An ErrorProcess is the stateful sampler built from a spec; the simulation
+/// engine owns one per resource per run, so repetitions stay independent and
+/// seeded.
+
+#include "stats/error_model.hpp"
+#include "stats/rng.hpp"
+
+namespace rumr::stats {
+
+/// How the error magnitude evolves over successive operations.
+enum class ErrorDynamics : std::uint8_t { kStationary, kRandomWalk, kBurst };
+
+/// Declarative description of an error process. Implicitly convertible from
+/// ErrorModel so stationary call sites keep their natural spelling.
+struct ErrorProcessSpec {
+  ErrorModel base{};
+  ErrorDynamics dynamics = ErrorDynamics::kStationary;
+
+  /// kRandomWalk: per-operation step stddev and reflection ceiling.
+  double walk_step = 0.01;
+  double walk_max = 1.0;
+
+  /// kBurst: burst magnitude multiplier and per-operation switch probability.
+  double burst_factor = 3.0;
+  double switch_probability = 0.02;
+
+  ErrorProcessSpec() = default;
+  /* implicit */ ErrorProcessSpec(ErrorModel model) : base(model) {}  // NOLINT
+};
+
+/// Stateful sampler for an ErrorProcessSpec.
+class ErrorProcess {
+ public:
+  ErrorProcess() = default;
+  explicit ErrorProcess(const ErrorProcessSpec& spec)
+      : spec_(spec), level_(spec.base.error()) {}
+
+  /// Perturbs one operation and advances the process state.
+  [[nodiscard]] double actual_duration(double predicted, Rng& rng);
+
+  /// The error magnitude currently in force.
+  [[nodiscard]] double current_error() const noexcept {
+    return in_burst_ ? level_ * spec_.burst_factor : level_;
+  }
+
+  /// True when no perturbation can ever occur.
+  [[nodiscard]] bool is_exact() const noexcept {
+    return spec_.base.is_exact() && spec_.dynamics == ErrorDynamics::kStationary;
+  }
+
+  [[nodiscard]] const ErrorProcessSpec& spec() const noexcept { return spec_; }
+
+ private:
+  void advance(Rng& rng);
+
+  ErrorProcessSpec spec_{};
+  double level_ = 0.0;
+  bool in_burst_ = false;
+};
+
+}  // namespace rumr::stats

@@ -1,0 +1,91 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rumr::stats {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.stddev();
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double win_fraction(std::span<const double> a, std::span<const double> b) noexcept {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(a.size());
+}
+
+double win_fraction_by_margin(std::span<const double> a, std::span<const double> b,
+                              double margin) noexcept {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] * (1.0 + margin) <= b[i]) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(a.size());
+}
+
+}  // namespace rumr::stats

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file summary.hpp
+/// Streaming and batch statistics used by the experiment harness.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rumr::stats {
+
+/// Numerically stable streaming accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator into this one (parallel reduction support).
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n - 1); 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Median (average of middle two for even sizes); 0 for an empty span.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 for an empty span.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Fraction of entries for which `a[i] < b[i]` (strict win rate of a over b).
+/// Requires equal sizes; returns 0 for empty inputs.
+[[nodiscard]] double win_fraction(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Fraction of entries for which `a[i] * (1 + margin) <= b[i]`, i.e. a beats
+/// b by at least `margin` (relative). Used for the paper's Table 3 (>= 10%).
+[[nodiscard]] double win_fraction_by_margin(std::span<const double> a, std::span<const double> b,
+                                            double margin) noexcept;
+
+}  // namespace rumr::stats

@@ -1,0 +1,109 @@
+#include "sweep/grid.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace rumr::sweep {
+
+platform::StarPlatform PlatformConfig::to_platform() const {
+  platform::HomogeneousParams params;
+  params.workers = n;
+  params.speed = 1.0;
+  params.bandwidth = b_over_n * static_cast<double>(n);
+  params.comp_latency = clat;
+  params.comm_latency = nlat;
+  params.transfer_latency = 0.0;
+  return platform::StarPlatform::homogeneous(params);
+}
+
+std::string PlatformConfig::label() const {
+  std::ostringstream out;
+  out << "N=" << n << " B=" << b_over_n * static_cast<double>(n) << " cLat=" << clat
+      << " nLat=" << nlat;
+  return out.str();
+}
+
+namespace {
+
+std::vector<double> arange(double lo, double hi, double step) {
+  std::vector<double> values;
+  for (double v = lo; v <= hi + 1e-9; v += step) {
+    // Snap to the step lattice to avoid 0.30000000000000004-style drift.
+    values.push_back(std::round(v / step) * step);
+  }
+  return values;
+}
+
+}  // namespace
+
+GridSpec GridSpec::paper_full() {
+  GridSpec spec;
+  for (std::size_t n = 10; n <= 50; n += 5) spec.n_values.push_back(n);
+  spec.b_over_n_values = arange(1.2, 2.0, 0.1);
+  spec.clat_values = arange(0.0, 1.0, 0.1);
+  spec.nlat_values = arange(0.0, 1.0, 0.1);
+  return spec;
+}
+
+GridSpec GridSpec::decimated() {
+  GridSpec spec;
+  for (std::size_t n = 10; n <= 50; n += 10) spec.n_values.push_back(n);
+  spec.b_over_n_values = arange(1.2, 2.0, 0.2);
+  spec.clat_values = arange(0.0, 1.0, 0.2);
+  spec.nlat_values = arange(0.0, 1.0, 0.2);
+  return spec;
+}
+
+GridSpec GridSpec::restrict_low_latency(double clat_max, double nlat_max) const {
+  GridSpec spec = *this;
+  spec.clat_values.clear();
+  spec.nlat_values.clear();
+  for (double c : clat_values) {
+    if (c < clat_max) spec.clat_values.push_back(c);
+  }
+  for (double n : nlat_values) {
+    if (n < nlat_max) spec.nlat_values.push_back(n);
+  }
+  return spec;
+}
+
+std::vector<PlatformConfig> make_grid(const GridSpec& spec) {
+  std::vector<PlatformConfig> configs;
+  configs.reserve(spec.size());
+  for (std::size_t n : spec.n_values) {
+    for (double b : spec.b_over_n_values) {
+      for (double clat : spec.clat_values) {
+        for (double nlat : spec.nlat_values) {
+          configs.push_back({n, b, clat, nlat});
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+std::vector<double> error_axis(double max_error, double step) {
+  std::vector<double> errors;
+  for (double e = 0.0; e <= max_error + 1e-9; e += step) {
+    errors.push_back(std::round(e / step) * step);
+  }
+  return errors;
+}
+
+std::size_t error_band(double error) noexcept {
+  // Bands: [0, 0.08], [0.1, 0.18], [0.2, 0.28], [0.3, 0.38], [0.4, 0.48].
+  for (std::size_t band = 0; band < 5; ++band) {
+    const double lo = 0.1 * static_cast<double>(band);
+    if (error >= lo - 1e-9 && error <= lo + 0.08 + 1e-9) return band;
+  }
+  return SIZE_MAX;
+}
+
+const std::vector<std::string>& error_band_labels() {
+  static const std::vector<std::string> labels = {"0-0.08", "0.1-0.18", "0.2-0.28", "0.3-0.38",
+                                                  "0.4-0.48"};
+  return labels;
+}
+
+}  // namespace rumr::sweep

@@ -1,0 +1,152 @@
+#include "sweep/runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/master_worker.hpp"
+#include "stats/rng.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace rumr::sweep {
+
+namespace {
+
+sim::SimOptions make_sim_options(double error, std::uint64_t seed,
+                                 stats::ErrorDistribution distribution) {
+  sim::SimOptions options;
+  options.comm_error = stats::ErrorModel(distribution, error);
+  options.comp_error = stats::ErrorModel(distribution, error);
+  options.seed = seed;
+  return options;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, const PlatformConfig& config, double error,
+                          std::size_t rep) {
+  // Quantize doubles onto their Table 1 lattice so the seed is stable under
+  // floating-point noise in axis generation.
+  const auto q = [](double v) { return static_cast<std::uint64_t>(std::llround(v * 1000.0)); };
+  const std::uint64_t a = stats::mix_seed(base, config.n, q(config.b_over_n), q(config.clat));
+  return stats::mix_seed(a, q(config.nlat), q(error), rep);
+}
+
+}  // namespace
+
+SweepResult::SweepResult(std::vector<PlatformConfig> configs, std::vector<double> errors,
+                         std::vector<std::string> algorithms)
+    : configs_(std::move(configs)),
+      errors_(std::move(errors)),
+      algorithms_(std::move(algorithms)),
+      cells_(configs_.size() * errors_.size() * algorithms_.size()) {}
+
+CellStats& SweepResult::cell(std::size_t config, std::size_t error, std::size_t algo) {
+  return cells_[(config * errors_.size() + error) * algorithms_.size() + algo];
+}
+
+const CellStats& SweepResult::cell(std::size_t config, std::size_t error,
+                                   std::size_t algo) const {
+  return cells_[(config * errors_.size() + error) * algorithms_.size() + algo];
+}
+
+double SweepResult::mean_normalized_makespan(std::size_t error, std::size_t algo) const {
+  stats::Accumulator ratios;
+  for (std::size_t c = 0; c < configs_.size(); ++c) {
+    const double reference = cell(c, error, 0).makespan.mean();
+    const double competitor = cell(c, error, algo).makespan.mean();
+    if (reference > 0.0) ratios.add(competitor / reference);
+  }
+  return ratios.mean();
+}
+
+double SweepResult::win_percentage(std::size_t band, std::size_t algo, bool by_margin) const {
+  std::size_t wins = 0;
+  std::size_t total = 0;
+  for (std::size_t e = 0; e < errors_.size(); ++e) {
+    if (error_band(errors_[e]) != band) continue;
+    for (std::size_t c = 0; c < configs_.size(); ++c) {
+      const double reference = cell(c, e, 0).makespan.mean();
+      const double competitor = cell(c, e, algo).makespan.mean();
+      ++total;
+      if (by_margin ? reference * 1.10 <= competitor : reference < competitor) ++wins;
+    }
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(wins) / static_cast<double>(total);
+}
+
+double SweepResult::overall_win_percentage(std::size_t algo) const {
+  std::size_t wins = 0;
+  std::size_t total = 0;
+  for (std::size_t e = 0; e < errors_.size(); ++e) {
+    for (std::size_t c = 0; c < configs_.size(); ++c) {
+      ++total;
+      if (cell(c, e, 0).makespan.mean() < cell(c, e, algo).makespan.mean()) ++wins;
+    }
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(wins) / static_cast<double>(total);
+}
+
+double SweepResult::per_rep_win_percentage(std::size_t band, std::size_t algo,
+                                           bool by_margin) const {
+  std::size_t wins = 0;
+  std::size_t total = 0;
+  for (std::size_t e = 0; e < errors_.size(); ++e) {
+    if (error_band(errors_[e]) != band) continue;
+    for (std::size_t c = 0; c < configs_.size(); ++c) {
+      const CellStats& stats = cell(c, e, algo);
+      wins += by_margin ? stats.ref_wins_by_10pct : stats.ref_wins;
+      total += stats.reps;
+    }
+  }
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(wins) / static_cast<double>(total);
+}
+
+SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
+                      const std::vector<AlgorithmSpec>& algorithms, const SweepOptions& options) {
+  if (algorithms.empty()) throw std::invalid_argument("run_sweep needs at least one algorithm");
+
+  std::vector<std::string> names;
+  names.reserve(algorithms.size());
+  for (const AlgorithmSpec& spec : algorithms) names.push_back(spec.name);
+  SweepResult result(configs, options.errors, std::move(names));
+
+  // One task per (configuration, error level); each task owns its cells, so
+  // no synchronization is needed on the result.
+  const std::size_t tasks = configs.size() * options.errors.size();
+  parallel_for(
+      tasks,
+      [&](std::size_t task) {
+        const std::size_t config_idx = task / options.errors.size();
+        const std::size_t error_idx = task % options.errors.size();
+        const PlatformConfig& config = result.configs()[config_idx];
+        const double error = options.errors[error_idx];
+        const platform::StarPlatform platform = config.to_platform();
+
+        std::vector<double> makespans(algorithms.size());
+        for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+          const std::uint64_t seed = derive_seed(options.base_seed, config, error, rep);
+          for (std::size_t a = 0; a < algorithms.size(); ++a) {
+            const auto policy = algorithms[a].make(platform, options.w_total, error);
+            const sim::SimResult sim_result =
+                simulate(platform, *policy, make_sim_options(error, seed, options.distribution));
+            makespans[a] = sim_result.makespan;
+          }
+          for (std::size_t a = 0; a < algorithms.size(); ++a) {
+            CellStats& cell = result.cell(config_idx, error_idx, a);
+            cell.makespan.add(makespans[a]);
+            ++cell.reps;
+            if (makespans[0] < makespans[a]) ++cell.ref_wins;
+            if (makespans[0] * 1.10 <= makespans[a]) ++cell.ref_wins_by_10pct;
+          }
+        }
+      },
+      options.threads);
+  return result;
+}
+
+double run_once(const PlatformConfig& config, const AlgorithmSpec& spec, double error,
+                std::uint64_t seed, double w_total, stats::ErrorDistribution distribution) {
+  const platform::StarPlatform platform = config.to_platform();
+  const auto policy = spec.make(platform, w_total, error);
+  return simulate(platform, *policy, make_sim_options(error, seed, distribution)).makespan;
+}
+
+}  // namespace rumr::sweep

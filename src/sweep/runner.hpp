@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file runner.hpp
+/// Parallel experiment runner: (configurations x error levels x repetitions x
+/// algorithms), with deterministic per-repetition seeding so results do not
+/// depend on thread count or execution order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/error_model.hpp"
+#include "stats/summary.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/scheduler_factory.hpp"
+
+namespace rumr::sweep {
+
+/// Sweep configuration.
+struct SweepOptions {
+  std::vector<double> errors = error_axis();              ///< Error levels to test.
+  std::size_t repetitions = 40;                           ///< Paper default: 40.
+  double w_total = 1000.0;                                ///< Paper default: 1000 units.
+  std::size_t threads = 0;                                ///< 0 = hardware concurrency.
+  std::uint64_t base_seed = 0x5eed5eed5eedULL;            ///< Sweep-level seed.
+  stats::ErrorDistribution distribution =
+      stats::ErrorDistribution::kTruncatedNormal;         ///< Paper default model.
+};
+
+/// Aggregated results for one (configuration, error, algorithm) cell.
+struct CellStats {
+  stats::Accumulator makespan;      ///< Over repetitions.
+  std::size_t reps = 0;
+  /// Repetitions in which the reference algorithm (index 0) strictly beat
+  /// this one, and beat it by at least 10% (paper Tables 2 and 3).
+  std::size_t ref_wins = 0;
+  std::size_t ref_wins_by_10pct = 0;
+};
+
+/// Full sweep output. Cells are indexed [config][error][algorithm].
+class SweepResult {
+ public:
+  SweepResult(std::vector<PlatformConfig> configs, std::vector<double> errors,
+              std::vector<std::string> algorithms);
+
+  [[nodiscard]] const std::vector<PlatformConfig>& configs() const noexcept { return configs_; }
+  [[nodiscard]] const std::vector<double>& errors() const noexcept { return errors_; }
+  [[nodiscard]] const std::vector<std::string>& algorithms() const noexcept {
+    return algorithms_;
+  }
+
+  [[nodiscard]] CellStats& cell(std::size_t config, std::size_t error, std::size_t algo);
+  [[nodiscard]] const CellStats& cell(std::size_t config, std::size_t error,
+                                      std::size_t algo) const;
+
+  /// Mean makespan of `algo` normalized to the reference (algorithm 0),
+  /// averaged over all configurations, at error index `error`. This is the
+  /// y-axis of the paper's Figures 4-7.
+  [[nodiscard]] double mean_normalized_makespan(std::size_t error, std::size_t algo) const;
+
+  /// Percentage (0-100) of experiments — a (configuration, error value) pair
+  /// whose result is the mean makespan over repetitions, as in the paper —
+  /// across error band `band`, in which the reference strictly outperformed
+  /// `algo` (Table 2) or did so by >= 10% (Table 3).
+  [[nodiscard]] double win_percentage(std::size_t band, std::size_t algo,
+                                      bool by_margin = false) const;
+
+  /// Overall win percentage across every cell (the paper's "79% overall").
+  [[nodiscard]] double overall_win_percentage(std::size_t algo) const;
+
+  /// Per-repetition win percentage (same-seed pairwise comparisons) for the
+  /// given band — a finer-grained companion metric the paper does not show.
+  [[nodiscard]] double per_rep_win_percentage(std::size_t band, std::size_t algo,
+                                              bool by_margin = false) const;
+
+ private:
+  std::vector<PlatformConfig> configs_;
+  std::vector<double> errors_;
+  std::vector<std::string> algorithms_;
+  std::vector<CellStats> cells_;
+};
+
+/// Runs the sweep: every algorithm in `algorithms` (index 0 is the
+/// reference, normally RUMR) on every configuration, error level, and
+/// repetition. A repetition uses the same derived seed for every algorithm.
+[[nodiscard]] SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
+                                    const std::vector<AlgorithmSpec>& algorithms,
+                                    const SweepOptions& options);
+
+/// Single-run convenience used by benches and examples: simulates `spec` once
+/// and returns the makespan.
+[[nodiscard]] double run_once(const PlatformConfig& config, const AlgorithmSpec& spec,
+                              double error, std::uint64_t seed, double w_total = 1000.0,
+                              stats::ErrorDistribution distribution =
+                                  stats::ErrorDistribution::kTruncatedNormal);
+
+}  // namespace rumr::sweep

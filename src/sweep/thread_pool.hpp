@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Minimal work-queue thread pool plus a static-scheduling parallel_for.
+/// Sweep tasks are fully independent and internally seeded, so results are
+/// identical regardless of the thread count or interleaving.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rumr::sweep {
+
+/// Number of workers `threads == 0` resolves to (hardware concurrency,
+/// minimum 1).
+[[nodiscard]] std::size_t default_thread_count() noexcept;
+
+/// Runs fn(0), fn(1), ..., fn(count - 1) across `threads` workers (0 = auto).
+/// Blocks until every index has been processed. Exceptions from fn propagate
+/// (the first one captured is rethrown after all workers join).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+/// Simple fixed-size thread pool for irregular task graphs.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace rumr::sweep

@@ -1,0 +1,107 @@
+// Tests for analytic makespan bounds and schedule-quality metrics
+// (analysis/bounds.hpp).
+
+#include "analysis/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rumr.hpp"
+#include "core/umr_policy.hpp"
+#include "sweep/scheduler_factory.hpp"
+
+namespace rumr::analysis {
+namespace {
+
+platform::StarPlatform paperish(std::size_t n = 10) {
+  return platform::StarPlatform::homogeneous(
+      {.workers = n, .speed = 1.0, .bandwidth = 1.5 * static_cast<double>(n),
+       .comp_latency = 0.2, .comm_latency = 0.1});
+}
+
+TEST(Bounds, ZeroWorkloadIsZero) {
+  const MakespanBounds b = makespan_lower_bounds(paperish(), 0.0);
+  EXPECT_EQ(b.combined(), 0.0);
+}
+
+TEST(Bounds, ComputeBoundIsAggregateRate) {
+  const MakespanBounds b = makespan_lower_bounds(paperish(10), 1000.0);
+  EXPECT_DOUBLE_EQ(b.compute_bound, 100.0);
+}
+
+TEST(Bounds, UplinkBoundUsesBestLinkAndChannels) {
+  const MakespanBounds one = makespan_lower_bounds(paperish(10), 1000.0, 1);
+  EXPECT_DOUBLE_EQ(one.uplink_bound, 1000.0 / 15.0);
+  const MakespanBounds two = makespan_lower_bounds(paperish(10), 1000.0, 2);
+  EXPECT_DOUBLE_EQ(two.uplink_bound, 1000.0 / 30.0);
+}
+
+TEST(Bounds, StartupBoundMinimizesOverWorkers) {
+  const platform::StarPlatform p(
+      {{1.0, 5.0, 1.0, 0.5, 0.0}, {1.0, 5.0, 0.2, 0.1, 0.0}});
+  const MakespanBounds b = makespan_lower_bounds(p, 10.0);
+  EXPECT_DOUBLE_EQ(b.startup_bound, 0.3);
+}
+
+TEST(Bounds, PipelineBoundDominatesItsParts) {
+  const MakespanBounds b = makespan_lower_bounds(paperish(), 1000.0);
+  EXPECT_GE(b.pipeline_bound, b.uplink_bound);
+  EXPECT_GE(b.pipeline_bound, b.startup_bound);
+  EXPECT_DOUBLE_EQ(b.combined(),
+                   std::max({b.compute_bound, b.uplink_bound, b.startup_bound, b.pipeline_bound}));
+}
+
+TEST(Bounds, NoScheduleBeatsTheBoundsAtZeroError) {
+  // Every algorithm on several platforms: simulated makespan >= bound.
+  for (std::size_t n : {4u, 10u, 25u}) {
+    const platform::StarPlatform p = paperish(n);
+    const double w = 500.0;
+    const double bound = makespan_lower_bounds(p, w).combined();
+    for (const auto& spec : sweep::extended_competitors()) {
+      const auto policy = spec.make(p, w, 0.0);
+      const double makespan = simulate(p, *policy, sim::SimOptions{}).makespan;
+      EXPECT_GE(makespan, bound - 1e-9) << spec.name << " N=" << n;
+    }
+  }
+}
+
+TEST(Bounds, UmrSitsCloseToTheBoundOnFriendlyPlatforms) {
+  // Low latency, ample bandwidth: UMR should land within a few percent of
+  // the compute bound.
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 10, .speed = 1.0, .bandwidth = 20.0, .comp_latency = 0.01,
+       .comm_latency = 0.01});
+  core::UmrPolicy policy(p, 1000.0);
+  const double makespan = simulate(p, policy, sim::SimOptions{}).makespan;
+  const double bound = makespan_lower_bounds(p, 1000.0).combined();
+  EXPECT_LT(makespan, 1.10 * bound);
+}
+
+TEST(Quality, MetricsAreConsistent) {
+  const platform::StarPlatform p = paperish();
+  core::UmrPolicy policy(p, 1000.0);
+  sim::SimOptions options;
+  options.record_trace = true;
+  const sim::SimResult result = simulate(p, policy, options);
+  const ScheduleQuality quality = analyze_run(p, result, 1000.0);
+
+  EXPECT_DOUBLE_EQ(quality.makespan, result.makespan);
+  EXPECT_GT(quality.worker_efficiency, 0.9);  // UMR at zero error is tight.
+  EXPECT_GT(quality.uplink_duty, 0.3);
+  EXPECT_LT(quality.uplink_duty, 1.0 + 1e-12);
+  EXPECT_GE(quality.optimality_gap, 1.0);
+  EXPECT_LT(quality.optimality_gap, 1.3);
+  // UMR's just-in-time schedule leaves essentially no interior idle.
+  EXPECT_LT(quality.mean_interior_idle, 0.05 * result.makespan);
+}
+
+TEST(Quality, WorksWithoutTrace) {
+  const platform::StarPlatform p = paperish();
+  core::UmrPolicy policy(p, 1000.0);
+  const sim::SimResult result = simulate(p, policy, sim::SimOptions{});
+  const ScheduleQuality quality = analyze_run(p, result, 1000.0);
+  EXPECT_GT(quality.optimality_gap, 0.0);
+  EXPECT_EQ(quality.mean_interior_idle, 0.0);
+}
+
+}  // namespace
+}  // namespace rumr::analysis

@@ -1,0 +1,112 @@
+// Unit tests for the prediction-error model (stats/error_model.hpp),
+// section 4.1 of the paper.
+
+#include "stats/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rumr::stats {
+namespace {
+
+TEST(ErrorModel, DefaultIsExact) {
+  const ErrorModel model;
+  EXPECT_TRUE(model.is_exact());
+  Rng rng(1);
+  EXPECT_EQ(model.actual_duration(3.5, rng), 3.5);
+}
+
+TEST(ErrorModel, ZeroErrorCollapsesToNone) {
+  const ErrorModel model(ErrorDistribution::kTruncatedNormal, 0.0);
+  EXPECT_TRUE(model.is_exact());
+}
+
+TEST(ErrorModel, NegativeErrorCollapsesToNone) {
+  const ErrorModel model(ErrorDistribution::kTruncatedNormal, -0.3);
+  EXPECT_TRUE(model.is_exact());
+  EXPECT_EQ(model.error(), 0.0);
+}
+
+TEST(ErrorModel, ZeroPredictedStaysZero) {
+  const ErrorModel model = ErrorModel::truncated_normal(0.4);
+  Rng rng(2);
+  EXPECT_EQ(model.actual_duration(0.0, rng), 0.0);
+}
+
+TEST(ErrorModel, RatiosAreAlwaysPositive) {
+  for (double error : {0.1, 0.5, 1.0, 3.0}) {
+    const ErrorModel model = ErrorModel::truncated_normal(error);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+      EXPECT_GE(model.sample_ratio(rng), ErrorModel::kMinRatio);
+    }
+  }
+}
+
+TEST(ErrorModel, TruncatedNormalMatchesMoments) {
+  const double error = 0.3;
+  const ErrorModel model = ErrorModel::truncated_normal(error);
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double r = model.sample_ratio(rng);
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(sd, error, 0.01);
+}
+
+TEST(ErrorModel, UniformMatchesMomentsAndBounds) {
+  const double error = 0.2;
+  const ErrorModel model = ErrorModel::uniform(error);
+  Rng rng(7);
+  const double half_width = std::sqrt(3.0) * error;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double r = model.sample_ratio(rng);
+    EXPECT_GE(r, 1.0 - half_width - 1e-12);
+    EXPECT_LE(r, 1.0 + half_width + 1e-12);
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(sd, error, 0.01);
+}
+
+TEST(ErrorModel, AppliesMultiplicatively) {
+  const ErrorModel model = ErrorModel::truncated_normal(0.25);
+  Rng a(11);
+  Rng b(11);
+  const double predicted = 8.0;
+  const double ratio = model.sample_ratio(a);
+  EXPECT_DOUBLE_EQ(model.actual_duration(predicted, b), predicted * ratio);
+}
+
+TEST(ErrorModel, MeanDurationIsUnbiased) {
+  const ErrorModel model = ErrorModel::truncated_normal(0.4);
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += model.actual_duration(10.0, rng);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(ErrorModel, FactoriesSetDistribution) {
+  EXPECT_EQ(ErrorModel::truncated_normal(0.1).distribution(),
+            ErrorDistribution::kTruncatedNormal);
+  EXPECT_EQ(ErrorModel::uniform(0.1).distribution(), ErrorDistribution::kUniform);
+  EXPECT_EQ(ErrorModel::none().distribution(), ErrorDistribution::kNone);
+}
+
+}  // namespace
+}  // namespace rumr::stats

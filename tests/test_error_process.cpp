@@ -1,0 +1,117 @@
+// Tests for non-stationary error processes (stats/error_process.hpp).
+
+#include "stats/error_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace rumr::stats {
+namespace {
+
+TEST(ErrorProcess, DefaultIsExact) {
+  ErrorProcess process;
+  EXPECT_TRUE(process.is_exact());
+  Rng rng(1);
+  EXPECT_EQ(process.actual_duration(5.0, rng), 5.0);
+}
+
+TEST(ErrorProcess, ImplicitConversionFromErrorModel) {
+  const ErrorProcessSpec spec = ErrorModel::truncated_normal(0.3);
+  EXPECT_EQ(spec.dynamics, ErrorDynamics::kStationary);
+  EXPECT_DOUBLE_EQ(spec.base.error(), 0.3);
+}
+
+TEST(ErrorProcess, StationaryMatchesErrorModel) {
+  // Stationary process and bare model consume the RNG identically.
+  const ErrorModel model = ErrorModel::truncated_normal(0.25);
+  ErrorProcess process{ErrorProcessSpec{model}};
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(process.actual_duration(3.0, a), model.actual_duration(3.0, b));
+  }
+}
+
+TEST(ErrorProcess, RandomWalkDriftsButStaysBounded) {
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::truncated_normal(0.2);
+  spec.dynamics = ErrorDynamics::kRandomWalk;
+  spec.walk_step = 0.05;
+  spec.walk_max = 0.6;
+  ErrorProcess process(spec);
+  Rng rng(11);
+  double min_level = 1.0;
+  double max_level = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    (void)process.actual_duration(1.0, rng);
+    min_level = std::min(min_level, process.current_error());
+    max_level = std::max(max_level, process.current_error());
+    EXPECT_GE(process.current_error(), 0.0);
+    EXPECT_LE(process.current_error(), 0.6 + 1e-12);
+  }
+  EXPECT_LT(min_level, 0.1);  // The walk actually moved...
+  EXPECT_GT(max_level, 0.3);  // ...in both directions.
+}
+
+TEST(ErrorProcess, BurstSwitchesRegimes) {
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::truncated_normal(0.1);
+  spec.dynamics = ErrorDynamics::kBurst;
+  spec.burst_factor = 4.0;
+  spec.switch_probability = 0.1;
+  ErrorProcess process(spec);
+  Rng rng(13);
+  int calm = 0;
+  int burst = 0;
+  for (int i = 0; i < 2000; ++i) {
+    (void)process.actual_duration(1.0, rng);
+    if (process.current_error() > 0.2) ++burst;
+    else ++calm;
+  }
+  EXPECT_GT(calm, 200);   // Both regimes were visited substantially.
+  EXPECT_GT(burst, 200);
+}
+
+TEST(ErrorProcess, BurstAmplifiesSpread) {
+  // The realized spread of a bursty process exceeds its calm-regime level.
+  ErrorProcessSpec calm_spec;
+  calm_spec.base = ErrorModel::truncated_normal(0.1);
+  ErrorProcessSpec burst_spec = calm_spec;
+  burst_spec.dynamics = ErrorDynamics::kBurst;
+  burst_spec.burst_factor = 5.0;
+  burst_spec.switch_probability = 0.05;
+
+  Rng rng_a(17);
+  Rng rng_b(17);
+  ErrorProcess calm(calm_spec);
+  ErrorProcess bursty(burst_spec);
+  Accumulator calm_acc;
+  Accumulator burst_acc;
+  for (int i = 0; i < 20000; ++i) {
+    calm_acc.add(calm.actual_duration(1.0, rng_a));
+    burst_acc.add(bursty.actual_duration(1.0, rng_b));
+  }
+  EXPECT_GT(burst_acc.stddev(), 1.5 * calm_acc.stddev());
+}
+
+TEST(ErrorProcess, WalkWithExactBasePerturbsOnceLevelRises) {
+  // Starting from error = 0 with random-walk dynamics, perturbations appear
+  // as soon as the walk leaves zero.
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::none();
+  spec.dynamics = ErrorDynamics::kRandomWalk;
+  spec.walk_step = 0.05;
+  ErrorProcess process(spec);
+  Rng rng(19);
+  bool perturbed = false;
+  for (int i = 0; i < 100; ++i) {
+    if (process.actual_duration(1.0, rng) != 1.0) perturbed = true;
+  }
+  EXPECT_TRUE(perturbed);
+}
+
+}  // namespace
+}  // namespace rumr::stats

@@ -1,0 +1,97 @@
+// Tests for the Table 1 parameter grid (sweep/grid.hpp).
+
+#include "sweep/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rumr::sweep {
+namespace {
+
+TEST(GridSpec, PaperFullMatchesTableOne) {
+  const GridSpec spec = GridSpec::paper_full();
+  EXPECT_EQ(spec.n_values.size(), 9u);          // 10, 15, ..., 50.
+  EXPECT_EQ(spec.b_over_n_values.size(), 9u);   // 1.2 .. 2.0 step 0.1.
+  EXPECT_EQ(spec.clat_values.size(), 11u);      // 0 .. 1 step 0.1.
+  EXPECT_EQ(spec.nlat_values.size(), 11u);
+  EXPECT_EQ(spec.size(), 9u * 9u * 11u * 11u);  // 9801 configurations.
+  EXPECT_EQ(spec.n_values.front(), 10u);
+  EXPECT_EQ(spec.n_values.back(), 50u);
+  EXPECT_DOUBLE_EQ(spec.b_over_n_values.front(), 1.2);
+  EXPECT_DOUBLE_EQ(spec.b_over_n_values.back(), 2.0);
+  EXPECT_DOUBLE_EQ(spec.clat_values.back(), 1.0);
+}
+
+TEST(GridSpec, DecimatedCoversSameRanges) {
+  const GridSpec spec = GridSpec::decimated();
+  EXPECT_EQ(spec.size(), 5u * 5u * 6u * 6u);
+  EXPECT_EQ(spec.n_values.front(), 10u);
+  EXPECT_EQ(spec.n_values.back(), 50u);
+  EXPECT_DOUBLE_EQ(spec.b_over_n_values.front(), 1.2);
+  EXPECT_DOUBLE_EQ(spec.b_over_n_values.back(), 2.0);
+  EXPECT_DOUBLE_EQ(spec.clat_values.back(), 1.0);
+  EXPECT_DOUBLE_EQ(spec.nlat_values.back(), 1.0);
+}
+
+TEST(GridSpec, LowLatencyRestrictionIsStrict) {
+  const GridSpec spec = GridSpec::paper_full().restrict_low_latency();
+  for (double c : spec.clat_values) EXPECT_LT(c, 0.3);
+  for (double n : spec.nlat_values) EXPECT_LT(n, 0.3);
+  EXPECT_EQ(spec.clat_values.size(), 3u);  // 0.0, 0.1, 0.2.
+  EXPECT_EQ(spec.nlat_values.size(), 3u);
+}
+
+TEST(Grid, CrossProductOrderIsDeterministic) {
+  GridSpec spec;
+  spec.n_values = {10, 20};
+  spec.b_over_n_values = {1.2};
+  spec.clat_values = {0.0, 0.5};
+  spec.nlat_values = {0.1};
+  const auto configs = make_grid(spec);
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].n, 10u);
+  EXPECT_EQ(configs[0].clat, 0.0);
+  EXPECT_EQ(configs[1].clat, 0.5);
+  EXPECT_EQ(configs[2].n, 20u);
+}
+
+TEST(PlatformConfig, InstantiatesHomogeneousPlatform) {
+  const PlatformConfig config{20, 1.8, 0.3, 0.9};
+  const platform::StarPlatform p = config.to_platform();
+  EXPECT_EQ(p.size(), 20u);
+  EXPECT_TRUE(p.is_homogeneous());
+  EXPECT_DOUBLE_EQ(p.worker(0).bandwidth, 36.0);  // 1.8 * 20 (Figure 5's r = 36).
+  EXPECT_DOUBLE_EQ(p.worker(0).speed, 1.0);
+  EXPECT_DOUBLE_EQ(p.worker(0).comp_latency, 0.3);
+  EXPECT_DOUBLE_EQ(p.worker(0).comm_latency, 0.9);
+}
+
+TEST(PlatformConfig, LabelIsReadable) {
+  const PlatformConfig config{20, 1.8, 0.3, 0.9};
+  EXPECT_EQ(config.label(), "N=20 B=36 cLat=0.3 nLat=0.9");
+}
+
+TEST(ErrorAxis, StepsAreExact) {
+  const auto errors = error_axis(0.48, 0.02);
+  EXPECT_EQ(errors.size(), 25u);
+  EXPECT_DOUBLE_EQ(errors.front(), 0.0);
+  EXPECT_DOUBLE_EQ(errors.back(), 0.48);
+  EXPECT_DOUBLE_EQ(errors[3], 0.06);  // No 0.060000000000000005 drift.
+}
+
+TEST(ErrorBands, MatchPaperTableHeaders) {
+  EXPECT_EQ(error_band(0.0), 0u);
+  EXPECT_EQ(error_band(0.08), 0u);
+  EXPECT_EQ(error_band(0.09), SIZE_MAX);  // Between bands.
+  EXPECT_EQ(error_band(0.10), 1u);
+  EXPECT_EQ(error_band(0.18), 1u);
+  EXPECT_EQ(error_band(0.25), 2u);
+  EXPECT_EQ(error_band(0.38), 3u);
+  EXPECT_EQ(error_band(0.48), 4u);
+  EXPECT_EQ(error_band(0.50), SIZE_MAX);
+  ASSERT_EQ(error_band_labels().size(), 5u);
+  EXPECT_EQ(error_band_labels()[0], "0-0.08");
+  EXPECT_EQ(error_band_labels()[4], "0.4-0.48");
+}
+
+}  // namespace
+}  // namespace rumr::sweep

@@ -1,0 +1,98 @@
+// Tests for random heterogeneous platform generation
+// (platform/heterogeneity.hpp).
+
+#include "platform/heterogeneity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rumr::platform {
+namespace {
+
+TEST(Heterogeneity, ZeroCvIsHomogeneous) {
+  HeterogeneityParams params;
+  params.workers = 8;
+  params.speed_cv = 0.0;
+  params.bandwidth_cv = 0.0;
+  stats::Rng rng(1);
+  const StarPlatform p = random_heterogeneous(params, rng);
+  EXPECT_TRUE(p.is_homogeneous());
+  EXPECT_DOUBLE_EQ(p.worker(0).speed, 1.0);
+  EXPECT_DOUBLE_EQ(p.worker(0).bandwidth, 1.5 * 8.0);
+  EXPECT_DOUBLE_EQ(speed_heterogeneity(p), 0.0);
+}
+
+TEST(Heterogeneity, RejectsZeroWorkers) {
+  HeterogeneityParams params;
+  params.workers = 0;
+  stats::Rng rng(2);
+  EXPECT_THROW((void)random_heterogeneous(params, rng), PlatformError);
+}
+
+TEST(Heterogeneity, CvControlsMeasuredSpread) {
+  HeterogeneityParams params;
+  params.workers = 200;  // Large sample for a stable CV estimate.
+  params.speed_cv = 0.4;
+  stats::Rng rng(3);
+  const StarPlatform p = random_heterogeneous(params, rng);
+  EXPECT_FALSE(p.is_homogeneous());
+  EXPECT_NEAR(speed_heterogeneity(p), 0.4, 0.08);
+}
+
+TEST(Heterogeneity, RatesAreFlooredAwayFromZero) {
+  HeterogeneityParams params;
+  params.workers = 500;
+  params.speed_cv = 2.0;  // Wild spread: the floor must kick in.
+  params.bandwidth_cv = 2.0;
+  stats::Rng rng(5);
+  const StarPlatform p = random_heterogeneous(params, rng);
+  for (const WorkerSpec& w : p.workers()) {
+    EXPECT_GE(w.speed, 0.1 - 1e-12);
+    EXPECT_GE(w.bandwidth, 0.1 * 1.5 * 500.0 - 1e-9);
+  }
+}
+
+TEST(Heterogeneity, LatenciesNeverNegative) {
+  HeterogeneityParams params;
+  params.workers = 300;
+  params.mean_comp_latency = 0.1;
+  params.comp_latency_cv = 3.0;
+  params.mean_comm_latency = 0.1;
+  params.comm_latency_cv = 3.0;
+  stats::Rng rng(7);
+  const StarPlatform p = random_heterogeneous(params, rng);
+  for (const WorkerSpec& w : p.workers()) {
+    EXPECT_GE(w.comp_latency, 0.0);
+    EXPECT_GE(w.comm_latency, 0.0);
+  }
+}
+
+TEST(Heterogeneity, DeterministicGivenRngState) {
+  HeterogeneityParams params;
+  params.workers = 10;
+  params.speed_cv = 0.5;
+  stats::Rng a(42);
+  stats::Rng b(42);
+  const StarPlatform pa = random_heterogeneous(params, a);
+  const StarPlatform pb = random_heterogeneous(params, b);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(pa.worker(i).speed, pb.worker(i).speed);
+    EXPECT_DOUBLE_EQ(pa.worker(i).bandwidth, pb.worker(i).bandwidth);
+  }
+}
+
+TEST(Heterogeneity, MeanBandwidthTracksUtilizationTarget) {
+  HeterogeneityParams params;
+  params.workers = 400;
+  params.bandwidth_over_ns = 1.5;
+  params.speed_cv = 0.0;
+  params.bandwidth_cv = 0.2;
+  stats::Rng rng(9);
+  const StarPlatform p = random_heterogeneous(params, rng);
+  double mean_b = 0.0;
+  for (const WorkerSpec& w : p.workers()) mean_b += w.bandwidth;
+  mean_b /= 400.0;
+  EXPECT_NEAR(mean_b, 1.5 * 400.0, 0.05 * 1.5 * 400.0);
+}
+
+}  // namespace
+}  // namespace rumr::platform

@@ -1,0 +1,119 @@
+// Metamorphic tests: transformations of the input whose effect on the
+// output is known exactly, checked across the full scheduler line-up. These
+// catch unit-confusion bugs (seconds vs work units, per-worker vs aggregate
+// rates) that example-based tests tend to miss.
+
+#include <gtest/gtest.h>
+
+#include "core/umr.hpp"
+#include "sim/master_worker.hpp"
+#include "sweep/scheduler_factory.hpp"
+
+namespace rumr::sweep {
+namespace {
+
+platform::StarPlatform scaled_platform(std::size_t n, double rate_scale) {
+  return platform::StarPlatform::homogeneous(
+      {.workers = n, .speed = 1.0 * rate_scale,
+       .bandwidth = 1.5 * static_cast<double>(n) * rate_scale, .comp_latency = 0.2,
+       .comm_latency = 0.1});
+}
+
+/// Scaling the workload AND all rates by the same factor leaves every
+/// predicted duration — and hence the zero-error makespan — unchanged:
+/// Tcomp = cLat + (k*c)/(k*S), Tcomm = nLat + (k*c)/(k*B).
+TEST(Metamorphic, JointWorkloadRateScalingPreservesMakespan) {
+  for (const auto& spec : extended_competitors()) {
+    const platform::StarPlatform base = scaled_platform(8, 1.0);
+    const platform::StarPlatform scaled = scaled_platform(8, 7.0);
+    const auto policy_a = spec.make(base, 400.0, 0.0);
+    const auto policy_b = spec.make(scaled, 7.0 * 400.0, 0.0);
+    const double a = simulate(base, *policy_a, sim::SimOptions{}).makespan;
+    const double b = simulate(scaled, *policy_b, sim::SimOptions{}).makespan;
+    EXPECT_NEAR(b, a, 1e-6 * a) << spec.name;
+  }
+}
+
+/// Scaling the workload, all rates, AND all latencies by k scales time
+/// uniformly: makespan scales by exactly k... with rates fixed and latencies
+/// scaled this is the pure time-dilation transform: chunk c takes
+/// k*(cLat + c'/S') when c' = k*c, S' = S, cLat' = k*cLat — i.e. scale W and
+/// latencies by k, keep rates: every duration multiplies by k.
+TEST(Metamorphic, TimeDilationScalesMakespanLinearly) {
+  const double k = 3.0;
+  for (const auto& spec : extended_competitors()) {
+    const platform::StarPlatform base = platform::StarPlatform::homogeneous(
+        {.workers = 6, .speed = 1.0, .bandwidth = 9.0, .comp_latency = 0.2,
+         .comm_latency = 0.1});
+    const platform::StarPlatform dilated = platform::StarPlatform::homogeneous(
+        {.workers = 6, .speed = 1.0, .bandwidth = 9.0, .comp_latency = 0.2 * k,
+         .comm_latency = 0.1 * k});
+    const auto policy_a = spec.make(base, 300.0, 0.0);
+    const auto policy_b = spec.make(dilated, 300.0 * k, 0.0);
+    const double a = simulate(base, *policy_a, sim::SimOptions{}).makespan;
+    const double b = simulate(dilated, *policy_b, sim::SimOptions{}).makespan;
+    EXPECT_NEAR(b, k * a, 1e-6 * k * a) << spec.name;
+  }
+}
+
+/// The UMR solver's schedule obeys the same invariances: joint scaling of
+/// (W, S, B) preserves round count and scales chunks by k.
+TEST(Metamorphic, UmrScheduleScalesWithWorkload) {
+  const platform::StarPlatform base = scaled_platform(10, 1.0);
+  const platform::StarPlatform scaled = scaled_platform(10, 4.0);
+  const core::UmrSchedule s1 = core::solve_umr(base, 1000.0);
+  const core::UmrSchedule s2 = core::solve_umr(scaled, 4000.0);
+  ASSERT_EQ(s1.rounds, s2.rounds);
+  for (std::size_t j = 0; j < s1.rounds; ++j) {
+    EXPECT_NEAR(s2.chunk[j][0], 4.0 * s1.chunk[j][0], 1e-6 * s2.chunk[j][0]) << "round " << j;
+  }
+  EXPECT_NEAR(s1.predicted_makespan, s2.predicted_makespan, 1e-6 * s1.predicted_makespan);
+}
+
+/// Adding a worker the solver may not even use can only help (or leave
+/// unchanged) the *predicted* UMR makespan — monotonicity in resources.
+TEST(Metamorphic, UmrPredictionImprovesWithMoreWorkers) {
+  double previous = 1e300;
+  for (std::size_t n : {5u, 10u, 20u, 40u}) {
+    // Keep B/N fixed so utilization stays feasible as N grows.
+    const platform::StarPlatform p = scaled_platform(n, 1.0);
+    const double predicted = core::solve_umr(p, 1000.0).predicted_makespan;
+    EXPECT_LT(predicted, previous) << "N=" << n;
+    previous = predicted;
+  }
+}
+
+/// Permuting worker order on a homogeneous platform cannot change any
+/// makespan (there is nothing to distinguish the workers).
+TEST(Metamorphic, HomogeneousWorkerOrderIsIrrelevant) {
+  const platform::StarPlatform p = scaled_platform(6, 1.0);
+  for (const auto& spec : paper_competitors()) {
+    const auto policy_a = spec.make(p, 300.0, 0.0);
+    const auto policy_b = spec.make(p, 300.0, 0.0);
+    // Same platform twice (permutation of identical workers is identity);
+    // this guards against hidden state leaking between make() calls.
+    const double a = simulate(p, *policy_a, sim::SimOptions{}).makespan;
+    const double b = simulate(p, *policy_b, sim::SimOptions{}).makespan;
+    EXPECT_DOUBLE_EQ(a, b) << spec.name;
+  }
+}
+
+/// Halving the error level cannot make the MEAN makespan larger by much:
+/// monotonicity of damage in the error magnitude (statistical, wide margin).
+TEST(Metamorphic, MeanMakespanGrowsWithError) {
+  const platform::StarPlatform p = scaled_platform(10, 1.0);
+  for (const auto& spec : paper_competitors()) {
+    double low_total = 0.0;
+    double high_total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      const auto policy_low = spec.make(p, 500.0, 0.1);
+      low_total += simulate(p, *policy_low, sim::SimOptions::with_error(0.1, seed)).makespan;
+      const auto policy_high = spec.make(p, 500.0, 0.5);
+      high_total += simulate(p, *policy_high, sim::SimOptions::with_error(0.5, seed)).makespan;
+    }
+    EXPECT_GT(high_total, 0.95 * low_total) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace rumr::sweep

@@ -1,0 +1,99 @@
+// Unit tests for the star platform model (platform/platform.hpp), section
+// 3.1 of the paper.
+
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rumr::platform {
+namespace {
+
+TEST(StarPlatform, RejectsEmptyPlatform) {
+  EXPECT_THROW(StarPlatform(std::vector<WorkerSpec>{}), PlatformError);
+  EXPECT_THROW(StarPlatform::homogeneous({.workers = 0}), PlatformError);
+}
+
+TEST(StarPlatform, RejectsInvalidRates) {
+  EXPECT_THROW(StarPlatform({{0.0, 1.0, 0.0, 0.0, 0.0}}), PlatformError);
+  EXPECT_THROW(StarPlatform({{-1.0, 1.0, 0.0, 0.0, 0.0}}), PlatformError);
+  EXPECT_THROW(StarPlatform({{1.0, 0.0, 0.0, 0.0, 0.0}}), PlatformError);
+}
+
+TEST(StarPlatform, RejectsNegativeLatencies) {
+  EXPECT_THROW(StarPlatform({{1.0, 1.0, -0.1, 0.0, 0.0}}), PlatformError);
+  EXPECT_THROW(StarPlatform({{1.0, 1.0, 0.0, -0.1, 0.0}}), PlatformError);
+  EXPECT_THROW(StarPlatform({{1.0, 1.0, 0.0, 0.0, -0.1}}), PlatformError);
+}
+
+TEST(StarPlatform, HomogeneousBuilderReplicatesSpec) {
+  const StarPlatform p = StarPlatform::homogeneous(
+      {.workers = 5, .speed = 2.0, .bandwidth = 20.0, .comp_latency = 0.3,
+       .comm_latency = 0.1, .transfer_latency = 0.05});
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_TRUE(p.is_homogeneous());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.worker(i).speed, 2.0);
+    EXPECT_EQ(p.worker(i).bandwidth, 20.0);
+  }
+  EXPECT_DOUBLE_EQ(p.total_speed(), 10.0);
+}
+
+TEST(StarPlatform, Equation1ComputationTime) {
+  // Tcomp = cLat + chunk / S (paper Eq. 1).
+  const StarPlatform p = StarPlatform::homogeneous(
+      {.workers = 1, .speed = 4.0, .bandwidth = 10.0, .comp_latency = 0.5});
+  EXPECT_DOUBLE_EQ(p.comp_time(0, 8.0), 0.5 + 2.0);
+}
+
+TEST(StarPlatform, Equation2CommunicationTime) {
+  // Tcomm = nLat + chunk / B + tLat (paper Eq. 2); the serial part excludes tLat.
+  const StarPlatform p = StarPlatform::homogeneous(
+      {.workers = 1, .speed = 1.0, .bandwidth = 5.0, .comp_latency = 0.0,
+       .comm_latency = 0.2, .transfer_latency = 0.1});
+  EXPECT_DOUBLE_EQ(p.comm_serial_time(0, 10.0), 0.2 + 2.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(0, 10.0), 0.2 + 2.0 + 0.1);
+}
+
+TEST(StarPlatform, ThetaAndUtilizationRatio) {
+  // theta = B / (N*S); utilization A = N*S/B = 1/theta.
+  const StarPlatform p = StarPlatform::homogeneous(
+      {.workers = 10, .speed = 1.0, .bandwidth = 15.0});
+  EXPECT_DOUBLE_EQ(p.theta(), 1.5);
+  EXPECT_DOUBLE_EQ(p.utilization_ratio(), 10.0 / 15.0);
+}
+
+TEST(StarPlatform, ThetaThrowsOnHeterogeneous) {
+  const StarPlatform p({{1.0, 10.0, 0.0, 0.0, 0.0}, {2.0, 10.0, 0.0, 0.0, 0.0}});
+  EXPECT_FALSE(p.is_homogeneous());
+  EXPECT_THROW((void)p.theta(), PlatformError);
+}
+
+TEST(StarPlatform, HeterogeneousUtilizationSumsPerWorker) {
+  const StarPlatform p({{1.0, 4.0, 0.0, 0.0, 0.0}, {2.0, 8.0, 0.0, 0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(p.utilization_ratio(), 0.25 + 0.25);
+}
+
+TEST(StarPlatform, SubsetSelectsAndReorders) {
+  const StarPlatform p({{1.0, 10.0, 0.0, 0.0, 0.0},
+                        {2.0, 20.0, 0.0, 0.0, 0.0},
+                        {3.0, 30.0, 0.0, 0.0, 0.0}});
+  const StarPlatform sub = p.subset({2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.worker(0).speed, 3.0);
+  EXPECT_EQ(sub.worker(1).speed, 1.0);
+}
+
+TEST(StarPlatform, DescribeMentionsShape) {
+  const StarPlatform homo = StarPlatform::homogeneous({.workers = 3, .bandwidth = 6.0});
+  EXPECT_NE(homo.describe().find("homogeneous"), std::string::npos);
+  const StarPlatform hetero({{1.0, 10.0, 0.0, 0.0, 0.0}, {2.0, 10.0, 0.0, 0.0, 0.0}});
+  EXPECT_NE(hetero.describe().find("heterogeneous"), std::string::npos);
+}
+
+TEST(StarPlatform, WorkerAccessorBoundsChecked) {
+  const StarPlatform p = StarPlatform::homogeneous({.workers = 2, .bandwidth = 4.0});
+  EXPECT_THROW((void)p.worker(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rumr::platform

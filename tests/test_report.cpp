@@ -1,0 +1,152 @@
+// Tests for the reporting substrate (report/): text tables, series, CSV, and
+// ASCII plots.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/series.hpp"
+#include "report/table.hpp"
+
+namespace rumr::report {
+namespace {
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"algorithm", "win%"});
+  table.add_row({"RUMR", "86.48"});
+  table.add_row({"MI-1", "5.2"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("algorithm"), std::string::npos);
+  EXPECT_NE(out.find("RUMR"), std::string::npos);
+  // Numbers are right-aligned: "5.2" sits at the column's right edge, so it
+  // appears padded to the same end column as "86.48".
+  const auto pos_a = out.find("86.48");
+  const auto pos_b = out.find("5.2");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+}
+
+TEST(TextTable, DoubleRowHelper) {
+  TextTable table({"name", "a", "b"});
+  table.add_row("row", {1.234, 5.678}, 1);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("5.7"), std::string::npos);
+  EXPECT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.columns(), 3u);
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW((void)table.to_string());
+}
+
+TEST(TextTable, PrintsToStream) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(), table.to_string());
+}
+
+TEST(Series, AddAndSize) {
+  Series s{"test", {}, {}};
+  s.add(1.0, 2.0);
+  s.add(3.0, 4.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.x[1], 3.0);
+}
+
+TEST(SeriesSet, FindByName) {
+  SeriesSet set;
+  set.series.push_back({"alpha", {0.0}, {1.0}});
+  set.series.push_back({"beta", {0.0}, {2.0}});
+  EXPECT_NE(set.find("alpha"), nullptr);
+  EXPECT_EQ(set.find("alpha")->y[0], 1.0);
+  EXPECT_EQ(set.find("missing"), nullptr);
+}
+
+TEST(SeriesSet, Extrema) {
+  SeriesSet set;
+  set.series.push_back({"a", {0.0, 1.0}, {5.0, -1.0}});
+  set.series.push_back({"b", {-2.0, 0.5}, {3.0, 7.0}});
+  EXPECT_DOUBLE_EQ(set.min_x(), -2.0);
+  EXPECT_DOUBLE_EQ(set.max_x(), 1.0);
+  EXPECT_DOUBLE_EQ(set.min_y(), -1.0);
+  EXPECT_DOUBLE_EQ(set.max_y(), 7.0);
+  EXPECT_FALSE(set.empty());
+  EXPECT_TRUE(SeriesSet{}.empty());
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesLongFormat) {
+  SeriesSet set;
+  set.x_label = "error";
+  set.y_label = "normalized makespan";
+  set.series.push_back({"UMR", {0.0, 0.1}, {1.0, 1.05}});
+  const std::string csv = to_csv(set);
+  EXPECT_NE(csv.find("series,error,normalized makespan"), std::string::npos);
+  EXPECT_NE(csv.find("UMR,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("UMR,0.1,1.05"), std::string::npos);
+}
+
+TEST(Csv, DefaultsHeaderLabels) {
+  SeriesSet set;
+  set.series.push_back({"s", {1.0}, {2.0}});
+  EXPECT_NE(to_csv(set).find("series,x,y"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptySetSaysNoData) {
+  EXPECT_EQ(render_plot(SeriesSet{}), "(no data)\n");
+}
+
+TEST(AsciiPlot, ContainsGlyphsTitleAndLegend) {
+  SeriesSet set;
+  set.title = "Figure 4(a)";
+  set.x_label = "error";
+  set.y_label = "normalized";
+  set.series.push_back({"UMR", {0.0, 0.25, 0.5}, {1.0, 1.2, 1.5}});
+  set.series.push_back({"Factoring", {0.0, 0.25, 0.5}, {1.4, 1.2, 1.1}});
+  const std::string plot = render_plot(set);
+  EXPECT_NE(plot.find("Figure 4(a)"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find("UMR"), std::string::npos);
+  EXPECT_NE(plot.find("Factoring"), std::string::npos);
+  EXPECT_NE(plot.find("x: error"), std::string::npos);
+}
+
+TEST(AsciiPlot, HonorsFixedYRange) {
+  SeriesSet set;
+  set.series.push_back({"s", {0.0, 1.0}, {0.5, 0.6}});
+  PlotOptions options;
+  options.y_min = 0.0;
+  options.y_max = 2.0;
+  const std::string plot = render_plot(set, options);
+  EXPECT_NE(plot.find("2.00"), std::string::npos);
+  EXPECT_NE(plot.find("0.00"), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePointSeriesDoesNotCrash) {
+  SeriesSet set;
+  set.series.push_back({"dot", {0.5}, {1.0}});
+  EXPECT_NO_THROW((void)render_plot(set));
+}
+
+}  // namespace
+}  // namespace rumr::report

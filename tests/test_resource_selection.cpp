@@ -1,0 +1,57 @@
+// Tests for greedy resource selection (core/resource_selection.hpp).
+
+#include "core/resource_selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rumr::core {
+namespace {
+
+TEST(ResourceSelection, KeepsEveryoneWhenBudgetAllows) {
+  // 4 workers, each S/B = 0.1: total 0.4 <= 0.95.
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 4, .speed = 1.0, .bandwidth = 10.0});
+  const auto selected = select_workers(p, 0.95);
+  EXPECT_EQ(selected.size(), 4u);
+}
+
+TEST(ResourceSelection, HomogeneousReducesToLargestFeasibleCount) {
+  // Each worker weighs S/B = 1/10; budget 0.55 -> 5 workers.
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 20, .speed = 1.0, .bandwidth = 10.0});
+  const auto selected = select_workers(p, 0.55);
+  EXPECT_EQ(selected.size(), 5u);
+}
+
+TEST(ResourceSelection, PrefersHighBandwidthWorkers) {
+  // Knapsack density greedy: sort by bandwidth descending.
+  const platform::StarPlatform p({{1.0, 2.0, 0.0, 0.0, 0.0},    // weight 0.5
+                                  {1.0, 10.0, 0.0, 0.0, 0.0},   // weight 0.1
+                                  {1.0, 5.0, 0.0, 0.0, 0.0}});  // weight 0.2
+  const auto selected = select_workers(p, 0.35);
+  // Takes worker 1 (0.1) then worker 2 (0.2) = 0.3; worker 0 won't fit.
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], 1u);
+  EXPECT_EQ(selected[1], 2u);
+}
+
+TEST(ResourceSelection, AlwaysSelectsAtLeastOne) {
+  // Even a single worker exceeds the budget.
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 3, .speed = 10.0, .bandwidth = 1.0});
+  const auto selected = select_workers(p, 0.5);
+  EXPECT_EQ(selected.size(), 1u);
+}
+
+TEST(ResourceSelection, DeterministicTieBreakByIndex) {
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 6, .speed = 1.0, .bandwidth = 10.0});
+  const auto selected = select_workers(p, 0.35);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0], 0u);
+  EXPECT_EQ(selected[1], 1u);
+  EXPECT_EQ(selected[2], 2u);
+}
+
+}  // namespace
+}  // namespace rumr::core

@@ -1,0 +1,110 @@
+// Unit tests for streaming/batch statistics (stats/summary.hpp).
+
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace rumr::stats {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 4.0);
+  EXPECT_EQ(acc.max(), 4.0);
+}
+
+TEST(Accumulator, KnownSample) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Accumulator left;
+  Accumulator right;
+  Accumulator all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentity) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  Accumulator empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+
+  Accumulator target;
+  target.merge(acc);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::array<double, 4> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(BatchStats, MedianOddAndEven) {
+  const std::array<double, 5> odd = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::array<double, 4> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(BatchStats, PercentileInterpolatesAndClamps) {
+  const std::array<double, 5> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 50.0);  // Clamped.
+  EXPECT_EQ(percentile(std::span<const double>{}, 50.0), 0.0);
+}
+
+TEST(BatchStats, WinFractions) {
+  const std::array<double, 4> a = {1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> b = {2.0, 2.0, 2.0, 5.0};
+  EXPECT_DOUBLE_EQ(win_fraction(a, b), 0.5);  // a wins at indices 0 and 3.
+  // By 10%: a*1.1 <= b at index 0 (1.1 <= 2) and index 3 (4.4 <= 5).
+  EXPECT_DOUBLE_EQ(win_fraction_by_margin(a, b, 0.10), 0.5);
+  // Mismatched sizes are rejected.
+  const std::array<double, 2> c = {1.0, 2.0};
+  EXPECT_EQ(win_fraction(a, c), 0.0);
+}
+
+}  // namespace
+}  // namespace rumr::stats

@@ -1,0 +1,95 @@
+// Tests for the sweep parallelism substrate (sweep/thread_pool.hpp).
+
+#include "sweep/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rumr::sweep {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  // Single-threaded execution preserves index order.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelFor, ResultIndependentOfThreadCount) {
+  const auto run = [](std::size_t threads) {
+    std::vector<double> out(500);
+    parallel_for(500, [&](std::size_t i) { out[i] = static_cast<double>(i * i); }, threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  const double reference = run(1);
+  EXPECT_EQ(run(2), reference);
+  EXPECT_EQ(run(8), reference);
+  EXPECT_EQ(run(0), reference);  // Auto.
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            },
+                            4),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }  // Destructor joins.
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.thread_count(), 5u);
+  ThreadPool auto_pool(0);
+  EXPECT_GE(auto_pool.thread_count(), 1u);
+}
+
+TEST(DefaultThreadCount, AtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rumr::sweep

@@ -1,0 +1,72 @@
+// Unit tests for execution-trace recording and Gantt rendering (sim/trace.hpp).
+
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rumr::sim {
+namespace {
+
+Trace make_sample() {
+  Trace t;
+  t.add({SpanKind::kUplink, 0, 5.0, 0.0, 1.0});
+  t.add({SpanKind::kTail, 0, 5.0, 1.0, 1.2});
+  t.add({SpanKind::kCompute, 0, 5.0, 1.2, 6.2});
+  t.add({SpanKind::kUplink, 1, 3.0, 1.0, 2.0});
+  t.add({SpanKind::kCompute, 1, 3.0, 2.0, 5.0});
+  return t;
+}
+
+TEST(Trace, EmptyBasics) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.end_time(), 0.0);
+  EXPECT_EQ(t.render_gantt(2), "(empty trace)\n");
+}
+
+TEST(Trace, EndTimeIsLatestSpanEnd) {
+  EXPECT_DOUBLE_EQ(make_sample().end_time(), 6.2);
+}
+
+TEST(Trace, FilterByKind) {
+  const Trace t = make_sample();
+  EXPECT_EQ(t.filter(SpanKind::kUplink).size(), 2u);
+  EXPECT_EQ(t.filter(SpanKind::kTail).size(), 1u);
+  EXPECT_EQ(t.filter(SpanKind::kCompute).size(), 2u);
+}
+
+TEST(Trace, FilterByWorker) {
+  const Trace t = make_sample();
+  EXPECT_EQ(t.for_worker(0).size(), 3u);
+  EXPECT_EQ(t.for_worker(1).size(), 2u);
+  EXPECT_EQ(t.for_worker(9).size(), 0u);
+}
+
+TEST(Trace, GanttHasOneRowPerWorkerPlusMaster) {
+  const std::string gantt = make_sample().render_gantt(2, 40);
+  // Header + master + 2 workers + no trailing junk.
+  int lines = 0;
+  for (char c : gantt) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(gantt.find("master"), std::string::npos);
+  EXPECT_NE(gantt.find("work 0"), std::string::npos);
+  EXPECT_NE(gantt.find("work 1"), std::string::npos);
+}
+
+TEST(Trace, GanttMarksActivities) {
+  const std::string gantt = make_sample().render_gantt(2, 40);
+  EXPECT_NE(gantt.find('#'), std::string::npos);  // Uplink busy.
+  EXPECT_NE(gantt.find('='), std::string::npos);  // Compute.
+}
+
+TEST(Trace, ClearEmptiesTrace) {
+  Trace t = make_sample();
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace rumr::sim
