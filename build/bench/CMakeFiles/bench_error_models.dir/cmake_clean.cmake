@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_models.dir/bench_error_models.cpp.o"
+  "CMakeFiles/bench_error_models.dir/bench_error_models.cpp.o.d"
+  "bench_error_models"
+  "bench_error_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6.cpp" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6.dir/bench_fig6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rumr_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

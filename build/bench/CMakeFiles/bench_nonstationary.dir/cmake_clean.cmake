@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonstationary.dir/bench_nonstationary.cpp.o"
+  "CMakeFiles/bench_nonstationary.dir/bench_nonstationary.cpp.o.d"
+  "bench_nonstationary"
+  "bench_nonstationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

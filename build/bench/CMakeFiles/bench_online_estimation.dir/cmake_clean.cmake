@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_estimation.dir/bench_online_estimation.cpp.o"
+  "CMakeFiles/bench_online_estimation.dir/bench_online_estimation.cpp.o.d"
+  "bench_online_estimation"
+  "bench_online_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simultaneous.dir/bench_simultaneous.cpp.o"
+  "CMakeFiles/bench_simultaneous.dir/bench_simultaneous.cpp.o.d"
+  "bench_simultaneous"
+  "bench_simultaneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simultaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

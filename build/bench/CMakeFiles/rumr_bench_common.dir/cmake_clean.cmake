@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_bench_common.dir/common.cpp.o"
+  "CMakeFiles/rumr_bench_common.dir/common.cpp.o.d"
+  "librumr_bench_common.a"
+  "librumr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_rendering.dir/image_rendering.cpp.o"
+  "CMakeFiles/image_rendering.dir/image_rendering.cpp.o.d"
+  "image_rendering"
+  "image_rendering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_rendering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_estimation.dir/online_estimation.cpp.o"
+  "CMakeFiles/online_estimation.dir/online_estimation.cpp.o.d"
+  "online_estimation"
+  "online_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

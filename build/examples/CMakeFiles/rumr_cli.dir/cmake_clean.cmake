@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_cli.dir/rumr_cli.cpp.o"
+  "CMakeFiles/rumr_cli.dir/rumr_cli.cpp.o.d"
+  "rumr_cli"
+  "rumr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

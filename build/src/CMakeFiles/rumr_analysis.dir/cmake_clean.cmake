@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_analysis.dir/analysis/bounds.cpp.o"
+  "CMakeFiles/rumr_analysis.dir/analysis/bounds.cpp.o.d"
+  "librumr_analysis.a"
+  "librumr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

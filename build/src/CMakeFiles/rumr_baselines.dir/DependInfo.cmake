@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/factoring.cpp" "src/CMakeFiles/rumr_baselines.dir/baselines/factoring.cpp.o" "gcc" "src/CMakeFiles/rumr_baselines.dir/baselines/factoring.cpp.o.d"
+  "/root/repo/src/baselines/fsc.cpp" "src/CMakeFiles/rumr_baselines.dir/baselines/fsc.cpp.o" "gcc" "src/CMakeFiles/rumr_baselines.dir/baselines/fsc.cpp.o.d"
+  "/root/repo/src/baselines/loop_scheduling.cpp" "src/CMakeFiles/rumr_baselines.dir/baselines/loop_scheduling.cpp.o" "gcc" "src/CMakeFiles/rumr_baselines.dir/baselines/loop_scheduling.cpp.o.d"
+  "/root/repo/src/baselines/multi_installment.cpp" "src/CMakeFiles/rumr_baselines.dir/baselines/multi_installment.cpp.o" "gcc" "src/CMakeFiles/rumr_baselines.dir/baselines/multi_installment.cpp.o.d"
+  "/root/repo/src/baselines/static_sequence.cpp" "src/CMakeFiles/rumr_baselines.dir/baselines/static_sequence.cpp.o" "gcc" "src/CMakeFiles/rumr_baselines.dir/baselines/static_sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rumr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_baselines.dir/baselines/factoring.cpp.o"
+  "CMakeFiles/rumr_baselines.dir/baselines/factoring.cpp.o.d"
+  "CMakeFiles/rumr_baselines.dir/baselines/fsc.cpp.o"
+  "CMakeFiles/rumr_baselines.dir/baselines/fsc.cpp.o.d"
+  "CMakeFiles/rumr_baselines.dir/baselines/loop_scheduling.cpp.o"
+  "CMakeFiles/rumr_baselines.dir/baselines/loop_scheduling.cpp.o.d"
+  "CMakeFiles/rumr_baselines.dir/baselines/multi_installment.cpp.o"
+  "CMakeFiles/rumr_baselines.dir/baselines/multi_installment.cpp.o.d"
+  "CMakeFiles/rumr_baselines.dir/baselines/static_sequence.cpp.o"
+  "CMakeFiles/rumr_baselines.dir/baselines/static_sequence.cpp.o.d"
+  "librumr_baselines.a"
+  "librumr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_config.dir/config/config_file.cpp.o"
+  "CMakeFiles/rumr_config.dir/config/config_file.cpp.o.d"
+  "CMakeFiles/rumr_config.dir/config/run_description.cpp.o"
+  "CMakeFiles/rumr_config.dir/config/run_description.cpp.o.d"
+  "librumr_config.a"
+  "librumr_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_rumr.cpp" "src/CMakeFiles/rumr_core.dir/core/adaptive_rumr.cpp.o" "gcc" "src/CMakeFiles/rumr_core.dir/core/adaptive_rumr.cpp.o.d"
+  "/root/repo/src/core/resource_selection.cpp" "src/CMakeFiles/rumr_core.dir/core/resource_selection.cpp.o" "gcc" "src/CMakeFiles/rumr_core.dir/core/resource_selection.cpp.o.d"
+  "/root/repo/src/core/rumr.cpp" "src/CMakeFiles/rumr_core.dir/core/rumr.cpp.o" "gcc" "src/CMakeFiles/rumr_core.dir/core/rumr.cpp.o.d"
+  "/root/repo/src/core/umr.cpp" "src/CMakeFiles/rumr_core.dir/core/umr.cpp.o" "gcc" "src/CMakeFiles/rumr_core.dir/core/umr.cpp.o.d"
+  "/root/repo/src/core/umr_policy.cpp" "src/CMakeFiles/rumr_core.dir/core/umr_policy.cpp.o" "gcc" "src/CMakeFiles/rumr_core.dir/core/umr_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rumr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_core.dir/core/adaptive_rumr.cpp.o"
+  "CMakeFiles/rumr_core.dir/core/adaptive_rumr.cpp.o.d"
+  "CMakeFiles/rumr_core.dir/core/resource_selection.cpp.o"
+  "CMakeFiles/rumr_core.dir/core/resource_selection.cpp.o.d"
+  "CMakeFiles/rumr_core.dir/core/rumr.cpp.o"
+  "CMakeFiles/rumr_core.dir/core/rumr.cpp.o.d"
+  "CMakeFiles/rumr_core.dir/core/umr.cpp.o"
+  "CMakeFiles/rumr_core.dir/core/umr.cpp.o.d"
+  "CMakeFiles/rumr_core.dir/core/umr_policy.cpp.o"
+  "CMakeFiles/rumr_core.dir/core/umr_policy.cpp.o.d"
+  "librumr_core.a"
+  "librumr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

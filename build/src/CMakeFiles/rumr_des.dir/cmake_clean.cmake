@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_des.dir/des/simulator.cpp.o"
+  "CMakeFiles/rumr_des.dir/des/simulator.cpp.o.d"
+  "librumr_des.a"
+  "librumr_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/rumr_linalg.dir/linalg/lu.cpp.o.d"
+  "librumr_linalg.a"
+  "librumr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

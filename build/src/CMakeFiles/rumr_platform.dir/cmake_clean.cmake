@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_platform.dir/platform/heterogeneity.cpp.o"
+  "CMakeFiles/rumr_platform.dir/platform/heterogeneity.cpp.o.d"
+  "CMakeFiles/rumr_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/rumr_platform.dir/platform/platform.cpp.o.d"
+  "librumr_platform.a"
+  "librumr_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

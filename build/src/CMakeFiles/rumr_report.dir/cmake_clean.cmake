@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_report.dir/report/ascii_plot.cpp.o"
+  "CMakeFiles/rumr_report.dir/report/ascii_plot.cpp.o.d"
+  "CMakeFiles/rumr_report.dir/report/csv.cpp.o"
+  "CMakeFiles/rumr_report.dir/report/csv.cpp.o.d"
+  "CMakeFiles/rumr_report.dir/report/series.cpp.o"
+  "CMakeFiles/rumr_report.dir/report/series.cpp.o.d"
+  "CMakeFiles/rumr_report.dir/report/table.cpp.o"
+  "CMakeFiles/rumr_report.dir/report/table.cpp.o.d"
+  "librumr_report.a"
+  "librumr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

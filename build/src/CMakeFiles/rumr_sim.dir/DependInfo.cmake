@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/master_worker.cpp" "src/CMakeFiles/rumr_sim.dir/sim/master_worker.cpp.o" "gcc" "src/CMakeFiles/rumr_sim.dir/sim/master_worker.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rumr_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rumr_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_json.cpp" "src/CMakeFiles/rumr_sim.dir/sim/trace_json.cpp.o" "gcc" "src/CMakeFiles/rumr_sim.dir/sim/trace_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rumr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_sim.dir/sim/master_worker.cpp.o"
+  "CMakeFiles/rumr_sim.dir/sim/master_worker.cpp.o.d"
+  "CMakeFiles/rumr_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/rumr_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/rumr_sim.dir/sim/trace_json.cpp.o"
+  "CMakeFiles/rumr_sim.dir/sim/trace_json.cpp.o.d"
+  "librumr_sim.a"
+  "librumr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/error_model.cpp" "src/CMakeFiles/rumr_stats.dir/stats/error_model.cpp.o" "gcc" "src/CMakeFiles/rumr_stats.dir/stats/error_model.cpp.o.d"
+  "/root/repo/src/stats/error_process.cpp" "src/CMakeFiles/rumr_stats.dir/stats/error_process.cpp.o" "gcc" "src/CMakeFiles/rumr_stats.dir/stats/error_process.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/CMakeFiles/rumr_stats.dir/stats/rng.cpp.o" "gcc" "src/CMakeFiles/rumr_stats.dir/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/rumr_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/rumr_stats.dir/stats/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_stats.dir/stats/error_model.cpp.o"
+  "CMakeFiles/rumr_stats.dir/stats/error_model.cpp.o.d"
+  "CMakeFiles/rumr_stats.dir/stats/error_process.cpp.o"
+  "CMakeFiles/rumr_stats.dir/stats/error_process.cpp.o.d"
+  "CMakeFiles/rumr_stats.dir/stats/rng.cpp.o"
+  "CMakeFiles/rumr_stats.dir/stats/rng.cpp.o.d"
+  "CMakeFiles/rumr_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/rumr_stats.dir/stats/summary.cpp.o.d"
+  "librumr_stats.a"
+  "librumr_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

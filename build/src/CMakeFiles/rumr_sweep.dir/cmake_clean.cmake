@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumr_sweep.dir/sweep/grid.cpp.o"
+  "CMakeFiles/rumr_sweep.dir/sweep/grid.cpp.o.d"
+  "CMakeFiles/rumr_sweep.dir/sweep/runner.cpp.o"
+  "CMakeFiles/rumr_sweep.dir/sweep/runner.cpp.o.d"
+  "CMakeFiles/rumr_sweep.dir/sweep/scheduler_factory.cpp.o"
+  "CMakeFiles/rumr_sweep.dir/sweep/scheduler_factory.cpp.o.d"
+  "CMakeFiles/rumr_sweep.dir/sweep/thread_pool.cpp.o"
+  "CMakeFiles/rumr_sweep.dir/sweep/thread_pool.cpp.o.d"
+  "librumr_sweep.a"
+  "librumr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_rumr.cpp" "tests/CMakeFiles/rumr_tests.dir/test_adaptive_rumr.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_adaptive_rumr.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/rumr_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/rumr_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_des.cpp" "tests/CMakeFiles/rumr_tests.dir/test_des.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_des.cpp.o.d"
+  "/root/repo/tests/test_error_model.cpp" "tests/CMakeFiles/rumr_tests.dir/test_error_model.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_error_model.cpp.o.d"
+  "/root/repo/tests/test_error_process.cpp" "tests/CMakeFiles/rumr_tests.dir/test_error_process.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_error_process.cpp.o.d"
+  "/root/repo/tests/test_factoring.cpp" "tests/CMakeFiles/rumr_tests.dir/test_factoring.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_factoring.cpp.o.d"
+  "/root/repo/tests/test_fsc.cpp" "tests/CMakeFiles/rumr_tests.dir/test_fsc.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_fsc.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/rumr_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_heterogeneity.cpp" "tests/CMakeFiles/rumr_tests.dir/test_heterogeneity.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_heterogeneity.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rumr_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/rumr_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_loop_scheduling.cpp" "tests/CMakeFiles/rumr_tests.dir/test_loop_scheduling.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_loop_scheduling.cpp.o.d"
+  "/root/repo/tests/test_metamorphic.cpp" "tests/CMakeFiles/rumr_tests.dir/test_metamorphic.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_metamorphic.cpp.o.d"
+  "/root/repo/tests/test_multi_installment.cpp" "tests/CMakeFiles/rumr_tests.dir/test_multi_installment.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_multi_installment.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/rumr_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rumr_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/rumr_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_resource_selection.cpp" "tests/CMakeFiles/rumr_tests.dir/test_resource_selection.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_resource_selection.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/rumr_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rumr.cpp" "tests/CMakeFiles/rumr_tests.dir/test_rumr.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_rumr.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/rumr_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/rumr_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_sim_extensions.cpp" "tests/CMakeFiles/rumr_tests.dir/test_sim_extensions.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_sim_extensions.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/rumr_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/rumr_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/rumr_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_json.cpp" "tests/CMakeFiles/rumr_tests.dir/test_trace_json.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_trace_json.cpp.o.d"
+  "/root/repo/tests/test_umr_policy.cpp" "tests/CMakeFiles/rumr_tests.dir/test_umr_policy.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_umr_policy.cpp.o.d"
+  "/root/repo/tests/test_umr_solver.cpp" "tests/CMakeFiles/rumr_tests.dir/test_umr_solver.cpp.o" "gcc" "tests/CMakeFiles/rumr_tests.dir/test_umr_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rumr_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rumr_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
