@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CI driver: builds and tests every correctness configuration.
+#
+#   ./ci.sh            all stages
+#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy
+#
+# Stages (each uses the matching CMakePresets.json preset, building into
+# build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
+#   release     Release build + full ctest suite + determinism harness
+#   asan-ubsan  Debug + ASan/UBSan + expensive-tier RUMR_CHECKs + ctest
+#   tsan        RelWithDebInfo + TSan + expensive-tier RUMR_CHECKs + ctest
+#   tidy        clang-tidy over src/ with the repo .clang-tidy, zero-warning
+#               gate (skipped with a notice when clang-tidy is not installed)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("${@:-release asan-ubsan tsan tidy}")
+# Re-split in case the default string was taken as one word.
+read -r -a STAGES <<< "${STAGES[*]}"
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+build_and_test() {
+  local preset="$1"
+  banner "configure [$preset]"
+  cmake --preset "$preset"
+  banner "build [$preset]"
+  cmake --build --preset "$preset" -j "$JOBS"
+  banner "ctest [$preset]"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    release)
+      build_and_test release
+      banner "determinism harness [release]"
+      ./build/release/tools/determinism_check
+      ;;
+    asan-ubsan)
+      build_and_test asan-ubsan
+      banner "determinism harness [asan-ubsan]"
+      ./build/asan-ubsan/tools/determinism_check
+      ;;
+    tsan)
+      # Suppress nothing: the suite must be race-free as-is.
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" build_and_test tsan
+      ;;
+    tidy)
+      if ! command -v clang-tidy > /dev/null 2>&1; then
+        banner "tidy SKIPPED: clang-tidy not installed"
+        continue
+      fi
+      banner "configure [tidy]"
+      cmake --preset tidy
+      banner "clang-tidy over src/ [zero-warning gate]"
+      cmake --build --preset tidy -j "$JOBS"
+      ;;
+    *)
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+banner "ci.sh: all requested stages passed"

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file check.hpp
+/// Compile-time-toggleable invariant checking for the simulator stack.
+///
+/// Every Fig. 4-7 number in the reproduction is a simulation output, so a
+/// silent causality bug corrupts results invisibly. These macros make the
+/// kernel's invariants machine-checked instead of trusted:
+///
+///   RUMR_CHECK(cond, msg)            cheap tier — O(1) checks on hot paths
+///   RUMR_CHECK_EXPENSIVE(cond, msg)  expensive tier — O(n) scans, audits
+///
+/// The tier compiled in is selected by RUMR_CHECK_LEVEL (a CMake cache
+/// variable of the same name):
+///
+///   0  all checks compiled out (maximum-throughput production builds)
+///   1  cheap tier only (the default, including Release)
+///   2  cheap + expensive tiers (sanitizer / CI builds)
+///
+/// Failures throw check::CheckError rather than aborting, so tests can
+/// assert that an auditor fires and sweep drivers can report which run
+/// tripped which invariant.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef RUMR_CHECK_LEVEL
+#define RUMR_CHECK_LEVEL 1
+#endif
+
+namespace rumr::check {
+
+/// Thrown when a checked invariant does not hold.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Tier compiled into this build (see file comment).
+[[nodiscard]] constexpr int level() noexcept { return RUMR_CHECK_LEVEL; }
+
+/// Formats and throws a CheckError. Out-of-line of the macro so the cold
+/// path costs one call in the generated code.
+[[noreturn]] inline void fail(const char* file, int line, const char* condition,
+                              const std::string& message) {
+  std::ostringstream out;
+  out << "invariant violated: " << message << " [" << condition << "] at " << file << ':' << line;
+  throw CheckError(out.str());
+}
+
+}  // namespace rumr::check
+
+#if RUMR_CHECK_LEVEL >= 1
+#define RUMR_CHECK(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) ::rumr::check::fail(__FILE__, __LINE__, #cond, (msg)); \
+  } while (false)
+#else
+#define RUMR_CHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#endif
+
+#if RUMR_CHECK_LEVEL >= 2
+#define RUMR_CHECK_EXPENSIVE(cond, msg)                            \
+  do {                                                             \
+    if (!(cond)) ::rumr::check::fail(__FILE__, __LINE__, #cond, (msg)); \
+  } while (false)
+#else
+#define RUMR_CHECK_EXPENSIVE(cond, msg) \
+  do {                                  \
+  } while (false)
+#endif

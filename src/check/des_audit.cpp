@@ -1,0 +1,87 @@
+#include "check/des_audit.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "check/check.hpp"
+
+namespace rumr::check {
+
+std::string AuditReport::summary() const {
+  if (violations.empty()) return "ok";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i != 0) out << '\n';
+    out << violations[i];
+  }
+  return out.str();
+}
+
+void AuditReport::throw_if_failed() const {
+  if (!violations.empty()) throw CheckError(summary());
+}
+
+void SimulatorAuditor::on_schedule(des::EventId id, des::SimTime requested, des::SimTime now) {
+  ++scheduled_;
+  if (requested < now) {
+    std::ostringstream out;
+    out << "schedule-in-the-past: event " << id << " requested at t=" << requested
+        << " while the clock is at t=" << now;
+    record(out.str());
+  }
+}
+
+void SimulatorAuditor::on_execute(des::EventId id, des::SimTime at) {
+  ++executed_;
+  if (any_executed_ && at < last_execute_) {
+    std::ostringstream out;
+    out << "time went backwards: event " << id << " executed at t=" << at
+        << " after an event at t=" << last_execute_;
+    record(out.str());
+  }
+  last_execute_ = at;
+  any_executed_ = true;
+}
+
+void SimulatorAuditor::on_cancel(des::EventId id, bool was_pending) {
+  // Cancelling a fired or unknown id is a documented no-op (was_pending
+  // false); only effective cancels enter the conservation ledger.
+  (void)id;
+  if (was_pending) ++cancelled_;
+}
+
+void SimulatorAuditor::verify_drained(const des::Simulator& sim) {
+  const auto mismatch = [this](const char* what, std::size_t got, std::size_t want) {
+    std::ostringstream out;
+    out << "event conservation: " << what << " is " << got << ", expected " << want;
+    record(out.str());
+  };
+  if (sim.events_pending() != 0) mismatch("events_pending at drain", sim.events_pending(), 0);
+  if (scheduled_ != executed_ + cancelled_) {
+    std::ostringstream out;
+    out << "event conservation: scheduled (" << scheduled_ << ") != executed (" << executed_
+        << ") + cancelled (" << cancelled_ << ")";
+    record(out.str());
+  }
+  if (sim.events_scheduled() != scheduled_)
+    mismatch("kernel events_scheduled", sim.events_scheduled(), scheduled_);
+  if (sim.events_processed() != executed_)
+    mismatch("kernel events_processed", sim.events_processed(), executed_);
+  if (sim.events_cancelled() != cancelled_)
+    mismatch("kernel events_cancelled", sim.events_cancelled(), cancelled_);
+}
+
+void SimulatorAuditor::reset() noexcept {
+  scheduled_ = 0;
+  executed_ = 0;
+  cancelled_ = 0;
+  last_execute_ = 0.0;
+  any_executed_ = false;
+  report_.violations.clear();
+}
+
+void SimulatorAuditor::record(std::string violation) {
+  report_.violations.push_back(std::move(violation));
+}
+
+}  // namespace rumr::check

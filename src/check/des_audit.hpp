@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file des_audit.hpp
+/// Invariant auditors for the discrete-event kernel (des/simulator.hpp).
+///
+/// SimulatorAuditor implements des::EventObserver and watches a live
+/// simulation for the three causality invariants the whole reproduction
+/// rests on:
+///
+///   1. Simulated-time monotonicity — handlers execute in non-decreasing
+///      time order.
+///   2. No-schedule-in-the-past — every schedule_at() request targets a time
+///      at or after the current clock.
+///   3. Event conservation — at drain, scheduled == executed + cancelled and
+///      nothing is still pending.
+///
+/// Violations are collected (not thrown at the violation site) so a sweep
+/// can report every broken run; call throw_if_failed() to escalate. The
+/// observer methods are public and take plain values, so negative tests can
+/// drive the auditor directly with a deliberately broken event sequence.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace rumr::check {
+
+/// Outcome of an audit: empty `violations` means the invariants held.
+struct AuditReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+
+  /// One violation per line, or "ok".
+  [[nodiscard]] std::string summary() const;
+
+  /// Throws CheckError with summary() if any violation was recorded.
+  void throw_if_failed() const;
+};
+
+/// Live kernel auditor; attach to a Simulator before scheduling anything.
+class SimulatorAuditor final : public des::EventObserver {
+ public:
+  SimulatorAuditor() = default;
+
+  /// Registers this auditor as `sim`'s observer (replacing any other).
+  void attach(des::Simulator& sim) noexcept { sim.set_observer(this); }
+
+  // des::EventObserver -------------------------------------------------------
+  void on_schedule(des::EventId id, des::SimTime requested, des::SimTime now) override;
+  void on_execute(des::EventId id, des::SimTime at) override;
+  void on_cancel(des::EventId id, bool was_pending) override;
+
+  /// Drain-time conservation check: scheduled == executed + cancelled, no
+  /// events pending, and this auditor's own counts agree with the kernel's.
+  /// Appends any violation to the report.
+  void verify_drained(const des::Simulator& sim);
+
+  [[nodiscard]] std::size_t scheduled() const noexcept { return scheduled_; }
+  [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t cancelled() const noexcept { return cancelled_; }
+
+  [[nodiscard]] const AuditReport& report() const noexcept { return report_; }
+
+  /// Forgets all observations (not the attachment).
+  void reset() noexcept;
+
+ private:
+  void record(std::string violation);
+
+  std::size_t scheduled_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t cancelled_ = 0;
+  des::SimTime last_execute_ = 0.0;
+  bool any_executed_ = false;
+  AuditReport report_;
+};
+
+}  // namespace rumr::check

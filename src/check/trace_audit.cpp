@@ -1,0 +1,160 @@
+#include "check/trace_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace rumr::check {
+namespace {
+
+/// Relative comparison scaled the same way the engine's own conservation
+/// check scales (sim/master_worker.cpp finalize_checks).
+bool close(double a, double b, double rel_tol) {
+  const double scale = std::max(1.0, std::max(std::abs(a), std::abs(b)));
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+void check_sum(AuditReport& report, const char* what, double got, double want, double rel_tol) {
+  if (close(got, want, rel_tol)) return;
+  std::ostringstream out;
+  out << "work conservation: " << what << " is " << got << ", expected " << want;
+  report.violations.push_back(out.str());
+}
+
+/// Spans of one kind never overlap: each must start at or after the previous
+/// end. Spans arrive in recording order, which the engine emits in start-time
+/// order per resource.
+void check_serial(AuditReport& report, const std::vector<sim::TraceSpan>& spans, const char* what,
+                  double tol) {
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].start >= spans[i - 1].end - tol) continue;
+    std::ostringstream out;
+    out << what << " overlap: span " << i << " starts at t=" << spans[i].start
+        << " before the previous span ends at t=" << spans[i - 1].end;
+    report.violations.push_back(out.str());
+  }
+}
+
+void audit_trace(AuditReport& report, const sim::SimResult& result,
+                 const platform::StarPlatform& platform, const TraceAuditOptions& options) {
+  const double tol = options.time_tolerance;
+  const auto& spans = result.trace.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const sim::TraceSpan& s = spans[i];
+    if (s.start < 0.0 || s.end < s.start || !std::isfinite(s.end)) {
+      std::ostringstream out;
+      out << "malformed span " << i << ": [" << s.start << ", " << s.end << ")";
+      report.violations.push_back(out.str());
+    }
+    if (s.worker >= platform.size()) {
+      std::ostringstream out;
+      out << "span " << i << " names worker " << s.worker << " of " << platform.size();
+      report.violations.push_back(out.str());
+    }
+  }
+
+  if (result.trace.end_time() > result.makespan + tol) {
+    std::ostringstream out;
+    out << "trace extends to t=" << result.trace.end_time() << " past the makespan t="
+        << result.makespan;
+    report.violations.push_back(out.str());
+  }
+
+  if (options.uplink_channels == 1) {
+    check_serial(report, result.trace.filter(sim::SpanKind::kUplink), "uplink", tol);
+  }
+  check_serial(report, result.trace.filter(sim::SpanKind::kOutput), "downlink", tol);
+
+  // Per-worker: one CPU, so compute spans serialize; their durations, chunk
+  // sums, and count must reproduce the aggregate outcome exactly.
+  for (std::size_t w = 0; w < result.workers.size(); ++w) {
+    std::vector<sim::TraceSpan> compute;
+    for (const sim::TraceSpan& s : result.trace.for_worker(w)) {
+      if (s.kind == sim::SpanKind::kCompute) compute.push_back(s);
+    }
+    std::ostringstream label;
+    label << "worker " << w << " compute";
+    check_serial(report, compute, label.str().c_str(), tol);
+
+    double busy = 0.0;
+    double work = 0.0;
+    for (const sim::TraceSpan& s : compute) {
+      busy += s.end - s.start;
+      work += s.chunk;
+    }
+    const sim::WorkerOutcome& out = result.workers[w];
+    check_sum(report, (label.str() + " span busy time").c_str(), busy, out.busy_time,
+              options.work_tolerance);
+    check_sum(report, (label.str() + " span work").c_str(), work, out.work,
+              options.work_tolerance);
+    if (compute.size() != out.chunks) {
+      std::ostringstream msg;
+      msg << "worker " << w << " has " << compute.size() << " compute spans but reported "
+          << out.chunks << " chunks";
+      report.violations.push_back(msg.str());
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarPlatform& platform,
+                             double w_total, const TraceAuditOptions& options) {
+  AuditReport report;
+
+  if (result.workers.size() != platform.size()) {
+    std::ostringstream out;
+    out << "result reports " << result.workers.size() << " workers on a platform of "
+        << platform.size();
+    report.violations.push_back(out.str());
+    return report;
+  }
+
+  // Aggregate work conservation: everything dispatched, everything computed.
+  check_sum(report, "bytes dispatched", result.work_dispatched, w_total, options.work_tolerance);
+  double computed = 0.0;
+  std::size_t chunks = 0;
+  for (const sim::WorkerOutcome& w : result.workers) {
+    computed += w.work;
+    chunks += w.chunks;
+  }
+  check_sum(report, "bytes computed", computed, w_total, options.work_tolerance);
+  if (chunks != result.chunks_dispatched) {
+    std::ostringstream out;
+    out << "chunk conservation: " << result.chunks_dispatched << " dispatched but " << chunks
+        << " computed";
+    report.violations.push_back(out.str());
+  }
+
+  // Per-worker timing sanity against the makespan.
+  for (std::size_t i = 0; i < result.workers.size(); ++i) {
+    const sim::WorkerOutcome& w = result.workers[i];
+    const auto fail = [&](const char* what, double got, double bound) {
+      std::ostringstream out;
+      out << "worker " << i << ' ' << what << " (" << got << ") exceeds " << bound;
+      report.violations.push_back(out.str());
+    };
+    if (w.busy_time > result.makespan + options.time_tolerance) {
+      fail("busy time", w.busy_time, result.makespan);
+    }
+    if (w.last_end > result.makespan + options.time_tolerance) {
+      fail("last completion", w.last_end, result.makespan);
+    }
+    if (w.chunks > 0 && w.first_start > w.last_end + options.time_tolerance) {
+      fail("first start", w.first_start, w.last_end);
+    }
+    if (w.chunks > 0 && w.busy_time > (w.last_end - w.first_start) + options.time_tolerance) {
+      fail("busy time", w.busy_time, w.last_end - w.first_start);
+    }
+  }
+
+  if (!result.trace.empty()) audit_trace(report, result, platform, options);
+  return report;
+}
+
+}  // namespace rumr::check

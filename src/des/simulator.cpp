@@ -3,41 +3,69 @@
 #include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
+
 namespace rumr::des {
 
 EventId Simulator::schedule_at(SimTime t, Callback callback) {
-  assert(t >= now_ && "cannot schedule an event in the simulated past");
-  assert(callback && "event callback must be callable");
+  RUMR_CHECK(callback != nullptr, "event callback must be callable");
   const EventId id = next_id_++;
+  if (observer_ != nullptr) observer_->on_schedule(id, t, now_);
+  RUMR_CHECK(t >= now_, "cannot schedule an event in the simulated past");
   queue_.push(PendingEvent{t < now_ ? now_ : t, id, std::move(callback)});
+  live_.insert(id);
   return id;
 }
 
 EventId Simulator::schedule_in(SimTime delay, Callback callback) {
-  assert(delay >= 0.0 && "negative event delay");
+  RUMR_CHECK(delay >= 0.0, "negative event delay");
   return schedule_at(now_ + (delay < 0.0 ? 0.0 : delay), std::move(callback));
 }
 
 bool Simulator::cancel(EventId id) {
   // We cannot remove from the middle of the heap; mark and skip at pop time.
-  if (id == 0 || id >= next_id_) return false;
-  return cancelled_.insert(id).second;
+  // Only a live id may grow cancelled_ — its heap entry is guaranteed to pop
+  // eventually and retire the tombstone, keeping the set bounded.
+  const bool was_pending = live_.erase(id) == 1;
+  if (was_pending) {
+    cancelled_.insert(id);
+    ++cancel_count_;
+  }
+  if (observer_ != nullptr) observer_->on_cancel(id, was_pending);
+  RUMR_CHECK_EXPENSIVE(live_.size() + cancelled_.size() == queue_.size(),
+                       "event bookkeeping out of sync after cancel");
+  return was_pending;
+}
+
+void Simulator::drop_cancelled_head() {
+  while (!queue_.empty()) {
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    break;
+  }
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    PendingEvent ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = ev.time;
-    ++processed_;
-    ev.callback();
-    return true;
+  drop_cancelled_head();
+  if (queue_.empty()) {
+    RUMR_CHECK(live_.empty() && cancelled_.empty(),
+               "event bookkeeping out of sync: drained queue with live ids");
+    return false;
   }
-  return false;
+  PendingEvent ev = queue_.top();
+  queue_.pop();
+  live_.erase(ev.id);
+  RUMR_CHECK_EXPENSIVE(live_.size() + cancelled_.size() == queue_.size(),
+                       "event bookkeeping out of sync after pop");
+  assert(ev.time >= now_ && "heap yielded an event from the simulated past");
+  now_ = ev.time;
+  ++processed_;
+  if (observer_ != nullptr) observer_->on_execute(ev.id, ev.time);
+  ev.callback();
+  return true;
 }
 
 std::size_t Simulator::run(std::size_t max_events) {
@@ -48,17 +76,9 @@ std::size_t Simulator::run(std::size_t max_events) {
 
 std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
   std::size_t executed = 0;
-  while (executed < max_events && !queue_.empty()) {
+  while (executed < max_events) {
     // Peek through cancelled entries without executing anything.
-    while (!queue_.empty()) {
-      const PendingEvent& top = queue_.top();
-      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        queue_.pop();
-        continue;
-      }
-      break;
-    }
+    drop_cancelled_head();
     if (queue_.empty() || queue_.top().time > deadline) break;
     if (!step()) break;
     ++executed;

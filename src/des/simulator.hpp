@@ -24,6 +24,26 @@ using SimTime = double;
 /// Handle for a scheduled event, usable with Simulator::cancel().
 using EventId = std::uint64_t;
 
+/// Observation hooks for auditing the kernel (see check/des_audit.hpp).
+///
+/// An observer sees every lifecycle transition: schedule (with the time the
+/// caller *requested*, before any clamping), execute, and cancel. The kernel
+/// holds a non-owning pointer; a null observer costs one branch per event.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+
+  /// A new event was scheduled. `requested` is the caller's time argument
+  /// verbatim; `now` the simulated clock at the call.
+  virtual void on_schedule(EventId id, SimTime requested, SimTime now) = 0;
+
+  /// An event's handler is about to run at simulated time `at`.
+  virtual void on_execute(EventId id, SimTime at) = 0;
+
+  /// cancel(id) was called; `was_pending` is its return value.
+  virtual void on_cancel(EventId id, bool was_pending) = 0;
+};
+
 /// Callback-driven discrete-event simulator.
 ///
 /// Usage: schedule initial events, then call run(). Handlers may schedule
@@ -44,8 +64,9 @@ class Simulator {
   /// Schedules `callback` to fire `delay` seconds from now. Requires delay >= 0.
   EventId schedule_in(SimTime delay, Callback callback);
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown event is
-  /// a harmless no-op. Returns true if the event was pending.
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled,
+  /// or unknown event is a harmless no-op. Returns true if the event was
+  /// pending.
   bool cancel(EventId id);
 
   /// Current simulated time. Starts at 0.
@@ -54,10 +75,19 @@ class Simulator {
   /// Number of events whose handlers have been executed.
   [[nodiscard]] std::size_t events_processed() const noexcept { return processed_; }
 
-  /// Number of events still pending (including cancelled-but-not-popped).
-  [[nodiscard]] std::size_t events_pending() const noexcept {
-    return queue_.size() - cancelled_.size();
+  /// Number of events ever scheduled.
+  [[nodiscard]] std::size_t events_scheduled() const noexcept {
+    return static_cast<std::size_t>(next_id_ - 1);
   }
+
+  /// Number of events successfully cancelled.
+  [[nodiscard]] std::size_t events_cancelled() const noexcept { return cancel_count_; }
+
+  /// Number of events still pending (excluding cancelled-but-not-popped).
+  [[nodiscard]] std::size_t events_pending() const noexcept { return live_.size(); }
+
+  /// Installs (or clears, with nullptr) the audit observer. Not owned.
+  void set_observer(EventObserver* observer) noexcept { observer_ = observer; }
 
   /// Executes the single next pending event. Returns false if none remain.
   bool step();
@@ -86,10 +116,21 @@ class Simulator {
     }
   };
 
+  /// Pops cancelled entries off the heap head, retiring their tombstones.
+  void drop_cancelled_head();
+
   SimTime now_ = 0.0;
   EventId next_id_ = 1;
   std::size_t processed_ = 0;
+  std::size_t cancel_count_ = 0;
+  EventObserver* observer_ = nullptr;
   std::priority_queue<PendingEvent, std::vector<PendingEvent>, Later> queue_;
+  /// Ids currently in the heap and not cancelled. Membership is what makes
+  /// cancel() exact: cancelling a fired or unknown id must not leave a
+  /// tombstone in cancelled_ (those would accumulate forever — their queue
+  /// entries, which retire tombstones at pop time, are long gone).
+  std::unordered_set<EventId> live_;
+  /// Ids cancelled while still in the heap; retired when their entry pops.
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "check/check.hpp"
 #include "des/simulator.hpp"
 #include "stats/rng.hpp"
 
@@ -100,6 +101,7 @@ class Engine final : public MasterContext {
         schedule_timed_poll();
         return;
       }
+      validate_dispatch(*next);
       if (committed_slots(next->worker) >= options_.worker_buffer_capacity) {
         // Rendezvous semantics: the target cannot post a receive, so the
         // master blocks — a channel is held (head-of-line blocking) until
@@ -127,7 +129,6 @@ class Engine final : public MasterContext {
   }
 
   void begin_send(const Dispatch& d) {
-    validate_dispatch(d);
     const std::size_t w = d.worker;
     const double chunk = d.chunk;
 
@@ -142,10 +143,13 @@ class Engine final : public MasterContext {
     const des::SimTime arrival = uplink_free + actual_tail;
 
     ++busy_channels_;
+    RUMR_CHECK(busy_channels_ <= options_.uplink_channels, "uplink channel overcommitted");
     uplink_busy_time_ += actual_serial;
     ++chunks_dispatched_;
     work_dispatched_ += chunk;
     ++in_flight_[w];
+    RUMR_CHECK(committed_slots(w) <= options_.worker_buffer_capacity,
+               "worker receive buffer overcommitted");
 
     // Master-side prediction bookkeeping (what the master believes, built
     // from the unperturbed model).
@@ -161,10 +165,12 @@ class Engine final : public MasterContext {
     }
 
     sim_.schedule_at(uplink_free, [this] {
+      RUMR_CHECK(busy_channels_ > 0, "uplink released while no transfer was in progress");
       --busy_channels_;
       try_dispatch();
     });
     sim_.schedule_at(arrival, [this, w, chunk, predicted_comp] {
+      RUMR_CHECK(in_flight_[w] > 0, "chunk arrived at a worker with nothing in flight");
       --in_flight_[w];
       queues_[w].push_back({chunk, predicted_comp});
       maybe_start_compute(w);
@@ -203,6 +209,7 @@ class Engine final : public MasterContext {
 
   void complete_chunk(std::size_t w, const QueuedChunk& done, double actual_comp,
                       des::SimTime t1) {
+    RUMR_CHECK(computing_[w], "completion for a worker that was not computing");
     computing_[w] = false;
 
     WorkerOutcome& out = outcomes_[w];
@@ -288,6 +295,17 @@ class Engine final : public MasterContext {
           << " units, expected " << expected << " (tolerance " << options_.work_tolerance << ")";
       throw SimError(msg.str());
     }
+    // Engine-internal drain invariants, checked after the policy-misbehavior
+    // paths above (a deadlocked policy legitimately leaves a blocked send
+    // behind; these tripping on a *finished* run means an engine bug).
+    RUMR_CHECK(busy_channels_ == 0 && !pending_send_,
+               "drained with a transfer still holding the uplink");
+    for (std::size_t w = 0; w < platform_.size(); ++w) {
+      RUMR_CHECK(in_flight_[w] == 0, "drained with a chunk still in flight");
+      RUMR_CHECK(queues_[w].empty(), "drained with a chunk still queued at a worker");
+      RUMR_CHECK(!computing_[w], "drained with a worker still computing");
+    }
+    RUMR_CHECK(output_queue_.empty() && !downlink_busy_, "drained with output transfers pending");
   }
 
   const platform::StarPlatform& platform_;

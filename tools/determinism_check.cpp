@@ -1,0 +1,194 @@
+// Determinism self-check harness.
+//
+// Codifies the kernel's determinism promise (des/simulator.hpp: equal-time
+// events run FIFO by insertion order, so every simulation is fully
+// reproducible) and checks it end to end:
+//
+//   1. DES tie-break audit: batches of events inserted in seeded-shuffled
+//      order, with many equal timestamps, must execute in (time, insertion
+//      sequence) order — and the kernel must pass a SimulatorAuditor
+//      (monotonicity, no-schedule-in-the-past, event conservation at drain).
+//   2. Scheduler replay audit: every scheduling algorithm in the evaluation
+//      (core + baselines) runs twice on the same run description; the JSON
+//      traces and result fingerprints must match byte for byte. Each run is
+//      additionally passed through the rumr::check work-conservation
+//      auditor.
+//
+// Exit status 0 iff every check passes; intended for CI (see ci.sh) and for
+// local use after touching src/des, src/sim, or any policy.
+
+#include <cstddef>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/des_audit.hpp"
+#include "check/trace_audit.hpp"
+#include "des/simulator.hpp"
+#include "platform/platform.hpp"
+#include "sim/master_worker.hpp"
+#include "sim/trace_json.hpp"
+#include "stats/rng.hpp"
+#include "sweep/scheduler_factory.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void report(const std::string& what, bool ok, const std::string& detail = "") {
+  std::cout << (ok ? "  ok    " : "  FAIL  ") << what << '\n';
+  if (!ok) {
+    if (!detail.empty()) std::cout << "        " << detail << '\n';
+    ++g_failures;
+  }
+}
+
+// --- 1. DES tie-break audit -------------------------------------------------
+
+/// Schedules `count` events whose timestamps collide heavily, inserted in a
+/// seeded-shuffled order, and verifies execution follows (time, insertion
+/// sequence) exactly.
+void des_jitter_round(std::uint64_t seed, std::size_t count) {
+  rumr::stats::Rng rng(seed);
+
+  // A small time alphabet forces equal-timestamp ties on almost every event.
+  std::vector<double> times(count);
+  for (double& t : times) t = static_cast<double>(rng.uniform_index(8)) * 0.5;
+
+  // Shuffle the *insertion* order (Fisher-Yates on an index permutation).
+  std::vector<std::size_t> order(count);
+  for (std::size_t i = 0; i < count; ++i) order[i] = i;
+  for (std::size_t i = count; i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng.uniform_index(i))]);
+  }
+
+  rumr::des::Simulator sim;
+  rumr::check::SimulatorAuditor auditor;
+  auditor.attach(sim);
+
+  // executed[k] = (time, insertion sequence) of the k-th handler to run.
+  std::vector<std::pair<double, std::size_t>> executed;
+  executed.reserve(count);
+  std::size_t seq = 0;
+  for (std::size_t idx : order) {
+    const double t = times[idx];
+    const std::size_t this_seq = seq++;
+    sim.schedule_at(t, [&executed, t, this_seq] { executed.emplace_back(t, this_seq); });
+  }
+  sim.run();
+  auditor.verify_drained(sim);
+
+  bool ordered = executed.size() == count;
+  for (std::size_t k = 1; ordered && k < executed.size(); ++k) {
+    const auto& [t_prev, s_prev] = executed[k - 1];
+    const auto& [t_k, s_k] = executed[k];
+    // Strict promise: later time, or same time and later insertion.
+    ordered = t_prev < t_k || (t_prev == t_k && s_prev < s_k);
+  }
+
+  std::ostringstream label;
+  label << "des tie-break, seed " << seed << ", " << count << " events";
+  report(label.str(), ordered && auditor.report().ok(),
+         ordered ? auditor.report().summary() : "execution order broke the FIFO tie-break");
+}
+
+// --- 2. Scheduler replay audit ----------------------------------------------
+
+/// The full evaluation line-up, deduplicated by name: the paper's
+/// section 5.1 competitors, FSC, the loop self-scheduling family, and the
+/// RUMR variants used in the ablation figures.
+std::vector<rumr::sweep::AlgorithmSpec> all_schedulers() {
+  std::vector<rumr::sweep::AlgorithmSpec> specs = rumr::sweep::extended_competitors();
+  for (auto& s : rumr::sweep::loop_family_competitors()) specs.push_back(std::move(s));
+  specs.push_back(rumr::sweep::rumr_inorder_spec());
+  specs.push_back(rumr::sweep::rumr_adaptive_spec());
+  specs.push_back(rumr::sweep::rumr_fixed_spec(70.0));
+
+  std::vector<rumr::sweep::AlgorithmSpec> unique;
+  std::map<std::string, bool> seen;
+  for (auto& s : specs) {
+    if (seen.emplace(s.name, true).second) unique.push_back(std::move(s));
+  }
+  return unique;
+}
+
+/// Runs one algorithm once and reduces the run to a byte-comparable string:
+/// the Chrome-tracing JSON plus every result scalar at full precision.
+std::string run_fingerprint(const rumr::sweep::AlgorithmSpec& spec,
+                            const rumr::platform::StarPlatform& platform, double w_total,
+                            double error, std::uint64_t seed, std::string* audit_out) {
+  auto policy = spec.make(platform, w_total, error);
+  rumr::sim::SimOptions options = rumr::sim::SimOptions::with_error(error, seed);
+  options.record_trace = true;
+  const rumr::sim::SimResult result = rumr::sim::simulate(platform, *policy, options);
+
+  const rumr::check::AuditReport audit =
+      rumr::check::audit_sim_result(result, platform, w_total);
+  if (!audit.ok() && audit_out != nullptr) *audit_out = audit.summary();
+
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "makespan=" << result.makespan << " chunks=" << result.chunks_dispatched
+      << " work=" << result.work_dispatched << " uplink=" << result.uplink_busy_time
+      << " events=" << result.events << '\n';
+  for (const rumr::sim::WorkerOutcome& w : result.workers) {
+    out << "worker work=" << w.work << " chunks=" << w.chunks << " busy=" << w.busy_time
+        << " first=" << w.first_start << " last=" << w.last_end << '\n';
+  }
+  out << rumr::sim::to_chrome_tracing(result.trace);
+  return out.str();
+}
+
+void scheduler_replay_round(const rumr::platform::StarPlatform& platform, const char* label,
+                            double w_total, double error, std::uint64_t seed) {
+  for (const rumr::sweep::AlgorithmSpec& spec : all_schedulers()) {
+    std::string audit_detail;
+    const std::string first = run_fingerprint(spec, platform, w_total, error, seed, &audit_detail);
+    const std::string second = run_fingerprint(spec, platform, w_total, error, seed, nullptr);
+    const bool identical = first == second;
+    const bool audited = audit_detail.empty();
+
+    std::ostringstream what;
+    what << spec.name << " on " << label << " (W=" << w_total << ", error=" << error << ", seed "
+         << seed << ")";
+    std::string detail;
+    if (!identical) detail = "replay produced a different trace";
+    if (!audited) detail += (detail.empty() ? "" : "; ") + ("audit: " + audit_detail);
+    report(what.str(), identical && audited, detail);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "determinism_check: DES tie-break audit\n";
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL}) des_jitter_round(seed, 2000);
+
+  std::cout << "determinism_check: scheduler replay audit\n";
+  const auto homogeneous = rumr::platform::StarPlatform::homogeneous(
+      {.workers = 10, .speed = 1.0, .bandwidth = 15.0, .comp_latency = 0.05,
+       .comm_latency = 0.02, .transfer_latency = 0.01});
+  scheduler_replay_round(homogeneous, "homogeneous-10", 1000.0, 0.3, 42);
+
+  // A lopsided platform exercises the heterogeneous code paths of every
+  // policy (per-worker fractions, weighted chunk sizing, resource order).
+  const rumr::platform::StarPlatform lopsided({
+      {2.0, 20.0, 0.05, 0.02, 0.01},
+      {1.0, 12.0, 0.05, 0.02, 0.01},
+      {0.5, 8.0, 0.05, 0.02, 0.01},
+      {1.5, 16.0, 0.05, 0.02, 0.01},
+  });
+  scheduler_replay_round(lopsided, "heterogeneous-4", 400.0, 0.2, 7);
+
+  if (g_failures != 0) {
+    std::cout << "determinism_check: " << g_failures << " check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "determinism_check: all checks passed\n";
+  return 0;
+}
