@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <ostream>
 
 #include "report/ascii_plot.hpp"
@@ -113,8 +114,11 @@ report::SeriesSet normalized_series(const sweep::SweepResult& result, const std:
 
 void emit_figure(std::ostream& out, const report::SeriesSet& series, const std::string& csv_name) {
   out << report::render_plot(series) << '\n';
-  if (report::save_csv(csv_name, series)) {
-    out << "exact numbers written to " << csv_name << "\n\n";
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + csv_name;
+  if (report::save_csv(path, series)) {
+    out << "exact numbers written to " << path << "\n\n";
   }
 }
 

@@ -67,7 +67,8 @@ void print_win_table(std::ostream& out, const sweep::SweepResult& result, bool b
                                                   const std::string& title);
 
 /// Renders the series as an ASCII plot, prints it, and saves the exact
-/// numbers as CSV next to the binary (path printed).
+/// numbers as CSV under results/ in the working directory (path printed;
+/// the directory is created on demand).
 void emit_figure(std::ostream& out, const report::SeriesSet& series, const std::string& csv_name);
 
 }  // namespace rumr::bench

@@ -21,6 +21,17 @@ read -r -a STAGES <<< "${STAGES[*]}"
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
+# Reject typos up front, before any stage burns build time.
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    release|asan-ubsan|tsan|tidy) ;;
+    *)
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
 build_and_test() {
   local preset="$1"
   banner "configure [$preset]"
@@ -37,15 +48,21 @@ for stage in "${STAGES[@]}"; do
       build_and_test release
       banner "determinism harness [release]"
       ./build/release/tools/determinism_check
+      banner "robustness demo [release]"
+      ./build/release/tools/robustness_demo
       ;;
     asan-ubsan)
       build_and_test asan-ubsan
       banner "determinism harness [asan-ubsan]"
       ./build/asan-ubsan/tools/determinism_check
+      banner "robustness demo [asan-ubsan]"
+      ./build/asan-ubsan/tools/robustness_demo
       ;;
     tsan)
       # Suppress nothing: the suite must be race-free as-is.
       TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" build_and_test tsan
+      banner "robustness demo [tsan]"
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" ./build/tsan/tools/robustness_demo
       ;;
     tidy)
       if ! command -v clang-tidy > /dev/null 2>&1; then

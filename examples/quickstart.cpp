@@ -9,6 +9,7 @@
 //      equivalent of the paper's Figures 2 and 3.
 
 #include <cstdio>
+#include <filesystem>
 
 #include "analysis/bounds.hpp"
 #include "core/rumr.hpp"
@@ -63,8 +64,11 @@ int main() {
                 100.0 * quality.worker_efficiency, quality.optimality_gap);
 
     // Full-fidelity trace for chrome://tracing / Perfetto.
-    if (sim::save_chrome_tracing("quickstart_trace.json", result.trace)) {
-      std::printf("detailed trace written to quickstart_trace.json (open in chrome://tracing)\n");
+    std::error_code ec;
+    std::filesystem::create_directories("results", ec);
+    if (sim::save_chrome_tracing("results/quickstart_trace.json", result.trace)) {
+      std::printf(
+          "detailed trace written to results/quickstart_trace.json (open in chrome://tracing)\n");
     }
   }
 

@@ -55,15 +55,18 @@ SelfSchedulingPolicy::SelfSchedulingPolicy(std::string name, std::vector<double>
 std::optional<sim::Dispatch> SelfSchedulingPolicy::next_dispatch(const sim::MasterContext& ctx) {
   if (cursor_ >= chunks_.size()) return std::nullopt;
 
-  // Self-scheduling: feed only workers below the outstanding cap (1 = pure
-  // request-driven, 2 = one-chunk prefetch). Among eligible workers prefer
-  // the least loaded, then the one idle the longest (earliest completion;
-  // subset order initially), matching a FIFO request queue.
+  // Self-scheduling: feed only alive workers below the outstanding cap (1 =
+  // pure request-driven, 2 = one-chunk prefetch). Among eligible workers
+  // prefer the least loaded, then the one idle the longest (earliest
+  // completion; subset order initially), matching a FIFO request queue.
   std::size_t best = workers_.size();
   std::size_t best_outstanding = 0;
   double best_completion = 0.0;
+  bool any_alive_in_subset = false;
   for (std::size_t k = 0; k < workers_.size(); ++k) {
     const sim::WorkerStatus& st = ctx.worker_status(workers_[k]);
+    if (!st.alive) continue;
+    any_alive_in_subset = true;
     if (st.outstanding >= max_outstanding_) continue;
     const bool better = best == workers_.size() || st.outstanding < best_outstanding ||
                         (st.outstanding == best_outstanding &&
@@ -74,8 +77,23 @@ std::optional<sim::Dispatch> SelfSchedulingPolicy::next_dispatch(const sim::Mast
       best_completion = st.last_completion;
     }
   }
-  if (best == workers_.size()) return std::nullopt;  // Everyone loaded: wait.
-  return sim::Dispatch{workers_[best], chunks_[cursor_++]};
+  if (best < workers_.size()) return sim::Dispatch{workers_[best], chunks_[cursor_++]};
+  if (any_alive_in_subset) return std::nullopt;  // Everyone loaded: wait.
+
+  // Fault fallback: the whole subset is fenced. Rather than strand the
+  // remaining chunks, feed the soonest-ready alive worker anywhere on the
+  // platform (RUMR phase 2 thereby escapes a dead phase-1 selection).
+  std::size_t fallback = ctx.num_workers();
+  for (std::size_t w = 0; w < ctx.num_workers(); ++w) {
+    const sim::WorkerStatus& st = ctx.worker_status(w);
+    if (!st.alive) continue;
+    if (fallback == ctx.num_workers() ||
+        st.predicted_ready < ctx.worker_status(fallback).predicted_ready) {
+      fallback = w;
+    }
+  }
+  if (fallback == ctx.num_workers()) return std::nullopt;  // All dead: wait/strand.
+  return sim::Dispatch{fallback, chunks_[cursor_++]};
 }
 
 std::vector<double> factoring_chunks(double w_total, std::size_t num_workers,

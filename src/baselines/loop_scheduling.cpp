@@ -140,12 +140,33 @@ std::optional<sim::Dispatch> WeightedFactoringPolicy::next_dispatch(
   // worker does not stall the batch.
   for (std::size_t probe = cursor_; probe < plan_.size(); ++probe) {
     const auto [worker, chunk] = plan_[probe];
-    if (ctx.worker_status(worker).outstanding == 0) {
+    const sim::WorkerStatus& st = ctx.worker_status(worker);
+    if (st.alive && st.outstanding == 0) {
       // Swap the served chunk to the cursor to keep the plan compact.
       std::swap(plan_[cursor_], plan_[probe]);
       ++cursor_;
       return sim::Dispatch{worker, chunk};
     }
+  }
+  // Fault fallback: every remaining chunk is pinned to a fenced or busy
+  // worker. Redirect the head chunk to an idle alive worker so a dead
+  // worker's share is redistributed instead of stranding the plan.
+  for (std::size_t probe = cursor_; probe < plan_.size(); ++probe) {
+    if (ctx.worker_status(plan_[probe].first).alive) continue;
+    std::size_t fallback = ctx.num_workers();
+    for (std::size_t w = 0; w < ctx.num_workers(); ++w) {
+      const sim::WorkerStatus& st = ctx.worker_status(w);
+      if (!st.alive || st.outstanding != 0) continue;
+      if (fallback == ctx.num_workers() ||
+          st.predicted_ready < ctx.worker_status(fallback).predicted_ready) {
+        fallback = w;
+      }
+    }
+    if (fallback == ctx.num_workers()) break;  // Nobody idle yet: wait.
+    std::swap(plan_[cursor_], plan_[probe]);
+    const double chunk = plan_[cursor_].second;
+    ++cursor_;
+    return sim::Dispatch{fallback, chunk};
   }
   return std::nullopt;
 }

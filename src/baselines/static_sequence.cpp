@@ -15,9 +15,28 @@ StaticSequencePolicy::StaticSequencePolicy(std::string name, std::vector<sim::Di
   }
 }
 
-std::optional<sim::Dispatch> StaticSequencePolicy::next_dispatch(const sim::MasterContext&) {
+std::optional<sim::Dispatch> StaticSequencePolicy::next_dispatch(const sim::MasterContext& ctx) {
   if (cursor_ >= plan_.size()) return std::nullopt;
-  return plan_[cursor_++];
+  sim::Dispatch next = plan_[cursor_];
+  // Fault fallback: a precalculated schedule has no feedback loop, so a plan
+  // entry aimed at a fenced worker is redirected to the soonest-ready alive
+  // worker (the dead worker's share is redistributed, not stranded).
+  // Out-of-range plan entries pass through so the engine can reject them.
+  if (next.worker < ctx.num_workers() && !ctx.worker_status(next.worker).alive) {
+    std::size_t fallback = ctx.num_workers();
+    for (std::size_t w = 0; w < ctx.num_workers(); ++w) {
+      const sim::WorkerStatus& st = ctx.worker_status(w);
+      if (!st.alive) continue;
+      if (fallback == ctx.num_workers() ||
+          st.predicted_ready < ctx.worker_status(fallback).predicted_ready) {
+        fallback = w;
+      }
+    }
+    if (fallback == ctx.num_workers()) return std::nullopt;  // All dead: wait.
+    next.worker = fallback;
+  }
+  ++cursor_;
+  return next;
 }
 
 }  // namespace rumr::baselines

@@ -71,15 +71,36 @@ void audit_trace(AuditReport& report, const sim::SimResult& result,
   check_serial(report, result.trace.filter(sim::SpanKind::kOutput), "downlink", tol);
 
   // Per-worker: one CPU, so compute spans serialize; their durations, chunk
-  // sums, and count must reproduce the aggregate outcome exactly.
+  // sums, and count must reproduce the aggregate outcome exactly. Aborted
+  // spans (failure-truncated computations) are excluded from every sum: the
+  // work they carried was reclaimed and re-dispatched, not computed here.
   for (std::size_t w = 0; w < result.workers.size(); ++w) {
     std::vector<sim::TraceSpan> compute;
+    std::vector<sim::TraceSpan> down;
     for (const sim::TraceSpan& s : result.trace.for_worker(w)) {
       if (s.kind == sim::SpanKind::kCompute) compute.push_back(s);
+      if (s.kind == sim::SpanKind::kDown) down.push_back(s);
     }
     std::ostringstream label;
     label << "worker " << w << " compute";
     check_serial(report, compute, label.str().c_str(), tol);
+
+    // Fault model: outage intervals are disjoint, and no completed
+    // computation may overlap one — a dead worker produces nothing.
+    {
+      std::ostringstream down_label;
+      down_label << "worker " << w << " down";
+      check_serial(report, down, down_label.str().c_str(), tol);
+    }
+    for (const sim::TraceSpan& c : compute) {
+      for (const sim::TraceSpan& d : down) {
+        if (c.end <= d.start + tol || c.start >= d.end - tol) continue;
+        std::ostringstream msg;
+        msg << "worker " << w << " completed a computation [" << c.start << ", " << c.end
+            << ") overlapping its outage [" << d.start << ", " << d.end << ")";
+        report.violations.push_back(msg.str());
+      }
+    }
 
     double busy = 0.0;
     double work = 0.0;
@@ -116,7 +137,11 @@ AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarP
   }
 
   // Aggregate work conservation: everything dispatched, everything computed.
-  check_sum(report, "bytes dispatched", result.work_dispatched, w_total, options.work_tolerance);
+  // Re-dispatched work appears in work_dispatched once per send; conservation
+  // holds for the net amount (gross minus re-sends).
+  const sim::FaultSummary& faults = result.faults;
+  check_sum(report, "bytes dispatched (net of re-dispatch)",
+            result.work_dispatched - faults.work_redispatched, w_total, options.work_tolerance);
   double computed = 0.0;
   std::size_t chunks = 0;
   for (const sim::WorkerOutcome& w : result.workers) {
@@ -124,12 +149,23 @@ AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarP
     chunks += w.chunks;
   }
   check_sum(report, "bytes computed", computed, w_total, options.work_tolerance);
-  if (chunks != result.chunks_dispatched) {
+  if (chunks + faults.chunks_lost != result.chunks_dispatched) {
     std::ostringstream out;
     out << "chunk conservation: " << result.chunks_dispatched << " dispatched but " << chunks
-        << " computed";
+        << " computed and " << faults.chunks_lost << " lost";
     report.violations.push_back(out.str());
   }
+
+  // Exactly-once re-dispatch: every chunk reclaimed from a fenced worker was
+  // sent again exactly once (a completed run never drops or duplicates work).
+  if (faults.chunks_lost != faults.chunks_redispatched) {
+    std::ostringstream out;
+    out << "re-dispatch: " << faults.chunks_lost << " chunks lost but "
+        << faults.chunks_redispatched << " re-dispatched";
+    report.violations.push_back(out.str());
+  }
+  check_sum(report, "bytes re-dispatched", faults.work_redispatched, faults.work_lost,
+            options.work_tolerance);
 
   // Per-worker timing sanity against the makespan.
   for (std::size_t i = 0; i < result.workers.size(); ++i) {

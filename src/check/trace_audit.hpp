@@ -12,7 +12,10 @@
 ///   - uplink spans never overlap when the master has a single channel
 ///     (the paper's serial-uplink model);
 ///   - trace spans are well-formed and consistent with the aggregate
-///     counters (busy times, per-worker work, chunk counts).
+///     counters (busy times, per-worker work, chunk counts);
+///   - under fault injection: no completed computation overlaps the worker's
+///     outage intervals (a dead worker produces nothing), and every chunk
+///     reclaimed from a fenced worker was re-dispatched exactly once.
 ///
 /// The span-level checks only run when the result carries a trace
 /// (SimOptions::record_trace); the aggregate checks always run.

@@ -88,6 +88,24 @@ RunDescription run_from_config(const ConfigFile& file) {
   run.sim_options.output_ratio = file.get_double("simulation", "output_ratio", 0.0);
   run.sim_options.uplink_channels = file.get_size("simulation", "uplink_channels", 1);
   run.repetitions = std::max<std::size_t>(1, file.get_size("simulation", "repetitions", 1));
+
+  const std::string fault_model = file.get_string("faults", "model", "none");
+  if (fault_model == "fail-stop") {
+    run.sim_options.faults = faults::FaultSpec::fail_stop(
+        file.get_double("faults", "mtbf", 1.0e9),
+        file.get_double("faults", "fail_probability", 1.0));
+  } else if (fault_model == "transient") {
+    run.sim_options.faults = faults::FaultSpec::transient(
+        file.get_double("faults", "mtbf", 1.0e9), file.get_double("faults", "mttr", 10.0));
+  } else if (fault_model != "none") {
+    throw ConfigError("[faults] model must be 'none', 'fail-stop', or 'transient'");
+  }
+  auto& tolerance = run.sim_options.fault_tolerance;
+  tolerance.timeout_slack = file.get_double("faults", "timeout_slack", tolerance.timeout_slack);
+  tolerance.backoff_base = file.get_double("faults", "backoff_base", tolerance.backoff_base);
+  tolerance.backoff_factor =
+      file.get_double("faults", "backoff_factor", tolerance.backoff_factor);
+  tolerance.backoff_max = file.get_double("faults", "backoff_max", tolerance.backoff_max);
   return run;
 }
 

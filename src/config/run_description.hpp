@@ -32,6 +32,16 @@
 ///   repetitions = 1
 ///   output_ratio = 0
 ///   uplink_channels = 1
+///
+///   [faults]
+///   model = none           ; none | fail-stop | transient
+///   mtbf = 800             ; mean time between failures (seconds)
+///   mttr = 80              ; mean time to repair (transient only)
+///   fail_probability = 1.0 ; fail-stop: fraction of workers that ever fail
+///   timeout_slack = 4      ; completion-timeout = slack x predicted remaining
+///   backoff_base = 1
+///   backoff_factor = 4
+///   backoff_max = 1024
 
 #include <memory>
 #include <string>

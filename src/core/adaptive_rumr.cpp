@@ -52,6 +52,16 @@ void AdaptiveRumrPolicy::on_chunk_completed(const sim::MasterContext&,
   if (info.predicted_comp > 0.0) ratios_.add(info.actual_comp / info.predicted_comp);
 }
 
+void AdaptiveRumrPolicy::on_worker_down(const sim::MasterContext& ctx, std::size_t worker) {
+  if (pilot_) pilot_->on_worker_down(ctx, worker);
+  if (rest_) rest_->on_worker_down(ctx, worker);
+}
+
+void AdaptiveRumrPolicy::on_worker_up(const sim::MasterContext& ctx, std::size_t worker) {
+  if (pilot_) pilot_->on_worker_up(ctx, worker);
+  if (rest_) rest_->on_worker_up(ctx, worker);
+}
+
 bool AdaptiveRumrPolicy::finished() const {
   const bool pilot_done = !pilot_ || pilot_->finished();
   if (!pilot_done) return false;

@@ -42,6 +42,8 @@ class AdaptiveRumrPolicy : public sim::SchedulerPolicy {
   [[nodiscard]] std::string_view name() const override { return name_; }
   std::optional<sim::Dispatch> next_dispatch(const sim::MasterContext& ctx) override;
   void on_chunk_completed(const sim::MasterContext& ctx, const sim::CompletionInfo& info) override;
+  void on_worker_down(const sim::MasterContext& ctx, std::size_t worker) override;
+  void on_worker_up(const sim::MasterContext& ctx, std::size_t worker) override;
   [[nodiscard]] bool finished() const override;
   [[nodiscard]] double total_work() const override { return w_total_; }
 

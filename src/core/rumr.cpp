@@ -109,6 +109,18 @@ std::optional<sim::Dispatch> RumrPolicy::next_dispatch(const sim::MasterContext&
   return std::nullopt;
 }
 
+void RumrPolicy::on_worker_down(const sim::MasterContext& ctx, std::size_t worker) {
+  // Both phases see the fence: the inactive phase may still hold undispatched
+  // work pinned to the fenced worker.
+  if (phase1_) phase1_->on_worker_down(ctx, worker);
+  if (phase2_) phase2_->on_worker_down(ctx, worker);
+}
+
+void RumrPolicy::on_worker_up(const sim::MasterContext& ctx, std::size_t worker) {
+  if (phase1_) phase1_->on_worker_up(ctx, worker);
+  if (phase2_) phase2_->on_worker_up(ctx, worker);
+}
+
 std::optional<des::SimTime> RumrPolicy::next_poll_time() const {
   // Forward timetable wake-ups when phase 1 runs in kTimetable mode (not
   // the default, but a legal RumrOptions::phase1_order); without this the

@@ -89,6 +89,8 @@ class RumrPolicy : public sim::SchedulerPolicy {
 
   [[nodiscard]] std::string_view name() const override { return name_; }
   std::optional<sim::Dispatch> next_dispatch(const sim::MasterContext& ctx) override;
+  void on_worker_down(const sim::MasterContext& ctx, std::size_t worker) override;
+  void on_worker_up(const sim::MasterContext& ctx, std::size_t worker) override;
   [[nodiscard]] std::optional<des::SimTime> next_poll_time() const override;
   [[nodiscard]] bool finished() const override;
   [[nodiscard]] double total_work() const override { return w_total_; }

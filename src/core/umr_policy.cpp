@@ -100,10 +100,13 @@ std::optional<sim::Dispatch> UmrPolicy::next_dispatch(const sim::MasterContext& 
       if (round_sent[k]) continue;
       const std::size_t worker = schedule_.selected_workers[k];
       if (first_unserved == round_sent.size()) first_unserved = k;
+      const sim::WorkerStatus& st = ctx.worker_status(worker);
+      // Fenced workers never win a preference slot (their chunk will be
+      // redirected below when slot order reaches them).
+      if (!st.alive) continue;
       if (first_receivable == round_sent.size() && ctx.can_receive(worker)) {
         first_receivable = k;
       }
-      const sim::WorkerStatus& st = ctx.worker_status(worker);
       if (st.outstanding == 0 && st.completed_chunks > 0) {
         if (pick == round_sent.size() || st.last_completion < best_completion) {
           pick = k;
@@ -118,10 +121,40 @@ std::optional<sim::Dispatch> UmrPolicy::next_dispatch(const sim::MasterContext& 
   }
   if (pick == round_sent.size()) return std::nullopt;  // Unreachable if invariants hold.
 
+  // Fault fallback: the precalculated schedule assumed every selected worker
+  // survives. A slot aimed at a fenced worker is redirected — preferably to
+  // an alive *selected* worker (keeping phase structure), else to any alive
+  // worker, soonest predicted-ready first. When nobody is alive the slot is
+  // NOT consumed: the policy waits for a rejoin instead of dropping work.
+  std::size_t target = schedule_.selected_workers[pick];
+  if (!ctx.worker_status(target).alive) {
+    std::size_t fallback = ctx.num_workers();
+    for (std::size_t w : schedule_.selected_workers) {
+      const sim::WorkerStatus& st = ctx.worker_status(w);
+      if (!st.alive) continue;
+      if (fallback == ctx.num_workers() ||
+          st.predicted_ready < ctx.worker_status(fallback).predicted_ready) {
+        fallback = w;
+      }
+    }
+    if (fallback == ctx.num_workers()) {
+      for (std::size_t w = 0; w < ctx.num_workers(); ++w) {
+        const sim::WorkerStatus& st = ctx.worker_status(w);
+        if (!st.alive) continue;
+        if (fallback == ctx.num_workers() ||
+            st.predicted_ready < ctx.worker_status(fallback).predicted_ready) {
+          fallback = w;
+        }
+      }
+    }
+    if (fallback == ctx.num_workers()) return std::nullopt;
+    target = fallback;
+  }
+
   round_sent[pick] = 1;
   --remaining_in_round_;
   ++sent_count_;
-  const sim::Dispatch d{schedule_.selected_workers[pick], round_chunks[pick]};
+  const sim::Dispatch d{target, round_chunks[pick]};
   if (remaining_in_round_ == 0) {
     ++current_round_;
     skip_empty_slots();

@@ -1,0 +1,136 @@
+#include "faults/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace rumr::faults {
+
+FaultSpec FaultSpec::fail_stop(double mtbf, double fail_probability) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kFailStop;
+  spec.mtbf = mtbf;
+  spec.fail_probability = fail_probability;
+  return spec;
+}
+
+FaultSpec FaultSpec::transient(double mtbf, double mttr) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransient;
+  spec.mtbf = mtbf;
+  spec.mttr = mttr;
+  return spec;
+}
+
+FaultSpec FaultSpec::scripted(std::vector<std::pair<std::size_t, Outage>> script) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kScripted;
+  spec.script = std::move(script);
+  return spec;
+}
+
+double sample_exponential(double mean, stats::Rng& rng) {
+  // Inversion on 1 - U keeps the draw strictly positive for U in [0, 1).
+  return -mean * std::log1p(-rng.uniform01());
+}
+
+namespace {
+
+void validate(const FaultSpec& spec, std::size_t workers) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("invalid FaultSpec: " + what);
+  };
+  switch (spec.kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kFailStop:
+      if (!(spec.mtbf > 0.0) || !std::isfinite(spec.mtbf)) bad("mtbf must be positive and finite");
+      if (spec.fail_probability < 0.0 || spec.fail_probability > 1.0) {
+        bad("fail_probability must be in [0, 1]");
+      }
+      return;
+    case FaultKind::kTransient:
+      if (!(spec.mtbf > 0.0) || !std::isfinite(spec.mtbf)) bad("mtbf must be positive and finite");
+      if (!(spec.mttr > 0.0) || !std::isfinite(spec.mttr)) bad("mttr must be positive and finite");
+      return;
+    case FaultKind::kScripted:
+      for (const auto& [worker, outage] : spec.script) {
+        if (worker >= workers) bad("scripted outage names worker " + std::to_string(worker));
+        if (outage.down < 0.0 || outage.up <= outage.down) bad("scripted outage is malformed");
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+FaultTimeline::FaultTimeline(const FaultSpec& spec, std::size_t workers, std::uint64_t seed)
+    : spec_(spec) {
+  validate(spec, workers);
+  lanes_.resize(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // Independent per-worker streams: outages of worker w never depend on
+    // query interleaving or on other workers' histories.
+    lanes_[w].rng = stats::Rng(stats::mix_seed(seed, 0xFA171D00ULL, w));
+    if (!spec_.enabled()) lanes_[w].exhausted = true;
+  }
+  if (spec_.kind == FaultKind::kScripted) {
+    for (const auto& [worker, outage] : spec_.script) lanes_[worker].outages.push_back(outage);
+    for (Lane& lane : lanes_) {
+      std::sort(lane.outages.begin(), lane.outages.end(),
+                [](const Outage& a, const Outage& b) { return a.down < b.down; });
+      for (std::size_t i = 1; i < lane.outages.size(); ++i) {
+        if (lane.outages[i].down < lane.outages[i - 1].up) {
+          throw std::invalid_argument("invalid FaultSpec: scripted outages overlap");
+        }
+      }
+      lane.exhausted = true;
+    }
+  }
+}
+
+void FaultTimeline::generate_one(Lane& lane) {
+  if (lane.exhausted) return;
+  switch (spec_.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kScripted:
+      lane.exhausted = true;
+      return;
+    case FaultKind::kFailStop: {
+      // One permanent outage per worker, if this worker fails at all. The
+      // probability draw comes first so the stream layout is stable.
+      const bool fails = lane.rng.uniform01() < spec_.fail_probability;
+      if (fails) lane.outages.push_back(Outage{sample_exponential(spec_.mtbf, lane.rng)});
+      lane.exhausted = true;
+      return;
+    }
+    case FaultKind::kTransient: {
+      const des::SimTime down = lane.generated_to + sample_exponential(spec_.mtbf, lane.rng);
+      const des::SimTime up = down + sample_exponential(spec_.mttr, lane.rng);
+      lane.outages.push_back({down, up});
+      lane.generated_to = up;
+      return;
+    }
+  }
+}
+
+std::optional<Outage> FaultTimeline::next_outage(std::size_t worker, des::SimTime t) {
+  if (worker >= lanes_.size()) return std::nullopt;
+  Lane& lane = lanes_[worker];
+  std::size_t i = 0;
+  for (;;) {
+    for (; i < lane.outages.size(); ++i) {
+      if (lane.outages[i].up > t) return lane.outages[i];
+    }
+    if (lane.exhausted) return std::nullopt;
+    generate_one(lane);
+  }
+}
+
+bool FaultTimeline::alive_at(std::size_t worker, des::SimTime t) {
+  const std::optional<Outage> outage = next_outage(worker, t);
+  return !outage || t < outage->down || t >= outage->up;
+}
+
+}  // namespace rumr::faults

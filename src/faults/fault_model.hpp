@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file fault_model.hpp
+/// Worker-availability (fault) models for the master-worker simulator.
+///
+/// The paper only perturbs *durations*: a worker can be slow but never gone.
+/// Real star platforms lose workers — the batch-vs-fractional scheduling and
+/// star-redistribution literature treats unavailability as first-class — so
+/// this module grows the robustness axis from "wrong predictions" to "missing
+/// resources". A fault model describes, per worker, when the worker is down:
+///
+///   - kNone:      always available (the paper's setting; zero overhead).
+///   - kFailStop:  each worker independently fails *permanently* at a time
+///                 sampled from Exp(mtbf); `fail_probability` bounds the
+///                 fraction of workers that ever fail.
+///   - kTransient: crash/recover renewal process — up-times ~ Exp(mtbf),
+///                 down-times ~ Exp(mttr), repeating forever.
+///   - kScripted:  explicit per-worker outage intervals, for tests and
+///                 reproducible demos.
+///
+/// Timelines are sampled lazily from per-worker RNG streams derived from the
+/// run seed, so (a) replays are byte-identical under the determinism harness
+/// regardless of query order, and (b) the engine's own RNG consumption is
+/// untouched — runs with faults disabled remain bit-for-bit identical to
+/// runs of a build without this subsystem.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace rumr::faults {
+
+/// How worker availability evolves over a run.
+enum class FaultKind : std::uint8_t { kNone, kFailStop, kTransient, kScripted };
+
+/// One unavailability interval [down, up). An infinite `up` is a permanent
+/// (fail-stop) loss.
+struct Outage {
+  des::SimTime down = 0.0;
+  des::SimTime up = std::numeric_limits<des::SimTime>::infinity();
+
+  [[nodiscard]] bool permanent() const noexcept {
+    return up == std::numeric_limits<des::SimTime>::infinity();
+  }
+};
+
+/// Declarative description of a fault model. Validated by FaultTimeline.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+
+  /// Mean time between failures (mean up-time), seconds. Used by kFailStop
+  /// (time of the single permanent failure) and kTransient.
+  double mtbf = 1.0e9;
+
+  /// Mean time to repair (mean down-time), seconds. kTransient only.
+  double mttr = 10.0;
+
+  /// kFailStop: probability that a given worker ever fails. 1 = every worker
+  /// eventually dies (given enough simulated time).
+  double fail_probability = 1.0;
+
+  /// kScripted: explicit (worker, outage) list. Outages of one worker must
+  /// not overlap; order does not matter (sorted on construction).
+  std::vector<std::pair<std::size_t, Outage>> script;
+
+  [[nodiscard]] bool enabled() const noexcept { return kind != FaultKind::kNone; }
+
+  [[nodiscard]] static FaultSpec none() noexcept { return {}; }
+  [[nodiscard]] static FaultSpec fail_stop(double mtbf, double fail_probability = 1.0);
+  [[nodiscard]] static FaultSpec transient(double mtbf, double mttr);
+  [[nodiscard]] static FaultSpec scripted(std::vector<std::pair<std::size_t, Outage>> script);
+};
+
+/// Draws from Exp(mean) via inversion; deterministic across platforms.
+[[nodiscard]] double sample_exponential(double mean, stats::Rng& rng);
+
+/// Per-worker availability timeline, sampled lazily from `spec`.
+///
+/// Each worker owns an independent RNG stream derived from (seed, worker),
+/// so the sequence of outages a worker experiences does not depend on what
+/// happens to other workers or on query order.
+class FaultTimeline {
+ public:
+  /// Empty timeline: every worker always up.
+  FaultTimeline() = default;
+
+  /// Throws std::invalid_argument on an invalid spec (non-positive mtbf/mttr
+  /// where used, out-of-range probability, overlapping scripted outages, or
+  /// a scripted worker index >= workers).
+  FaultTimeline(const FaultSpec& spec, std::size_t workers, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return lanes_.size(); }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// The first outage still relevant at time `t`: the earliest outage with
+  /// up > t (it either contains t or lies in the future). nullopt when the
+  /// worker never goes down again.
+  [[nodiscard]] std::optional<Outage> next_outage(std::size_t worker, des::SimTime t);
+
+  /// Ground-truth availability at time `t` (down intervals are half-open, so
+  /// a worker is alive at its exact recovery instant).
+  [[nodiscard]] bool alive_at(std::size_t worker, des::SimTime t);
+
+ private:
+  struct Lane {
+    stats::Rng rng{0};
+    std::vector<Outage> outages;   ///< Generated so far, sorted, disjoint.
+    des::SimTime generated_to = 0.0;
+    bool exhausted = false;        ///< No further outages will ever be generated.
+  };
+
+  /// Appends the next outage to `lane` or marks it exhausted.
+  void generate_one(Lane& lane);
+
+  FaultSpec spec_{};
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace rumr::faults

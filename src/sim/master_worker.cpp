@@ -26,6 +26,30 @@ namespace {
 struct QueuedChunk {
   double chunk = 0.0;
   double predicted_comp = 0.0;
+  std::uint64_t lease = 0;  ///< Matches its DispatchRecord (faults only).
+};
+
+/// Master-side lease record for one dispatched, not-yet-completed chunk.
+/// The completion-timeout watchdog is armed from the head record; at a fence
+/// all of a worker's records are reclaimed into the re-dispatch pool.
+struct DispatchRecord {
+  double chunk = 0.0;
+  des::SimTime predicted_completion = 0.0;  ///< Model-predicted finish time.
+  double predicted_comp = 0.0;              ///< Model-predicted compute duration.
+  /// Unique per dispatch. A completion settles the record with the matching
+  /// lease, not the head: when an outage drops an earlier delivery, the
+  /// worker computes later chunks first, and popping FIFO would reclaim (and
+  /// recompute) a chunk that already completed.
+  std::uint64_t lease = 0;
+};
+
+/// A reclaimed chunk awaiting re-dispatch. `was_dispatched` is false for a
+/// chunk reclaimed from a blocked (never-sent) rendezvous send: it has not
+/// been counted in work_dispatched_ yet, so sending it is a first dispatch,
+/// not a re-dispatch.
+struct RedispatchItem {
+  double chunk = 0.0;
+  bool was_dispatched = true;
 };
 
 /// Full engine state; implements the policy-visible MasterContext view.
@@ -44,7 +68,20 @@ class Engine final : public MasterContext {
         queues_(platform.size()),
         computing_(platform.size(), false),
         in_flight_(platform.size(), 0),
-        pending_pred_comp_(platform.size()) {
+        pending_pred_comp_(platform.size()),
+        faults_on_(options.faults.enabled()),
+        ground_alive_(platform.size(), true),
+        believed_down_(platform.size(), false),
+        down_since_(platform.size(), 0.0),
+        fault_event_(platform.size(), 0),
+        rejoin_event_(platform.size(), 0),
+        timeout_event_(platform.size(), 0),
+        compute_event_(platform.size(), 0),
+        compute_span_(platform.size(), kNoSpan),
+        blacklist_until_(platform.size(), 0.0),
+        suspicions_(platform.size(), 0),
+        lease_epoch_(platform.size(), 0),
+        dispatch_records_(platform.size()) {
     if (options.worker_buffer_capacity == 0) {
       throw SimError("worker_buffer_capacity must be >= 1 (1 models the double-buffered "
                      "front-end; SIZE_MAX disables blocking)");
@@ -54,6 +91,17 @@ class Engine final : public MasterContext {
     }
     if (options.output_ratio < 0.0 || !std::isfinite(options.output_ratio)) {
       throw SimError("output_ratio must be non-negative and finite");
+    }
+    if (faults_on_) {
+      const auto& ft = options.fault_tolerance;
+      if (!(ft.timeout_slack > 1.0) || !std::isfinite(ft.timeout_slack)) {
+        throw SimError("fault_tolerance.timeout_slack must be > 1 and finite");
+      }
+      if (!(ft.backoff_base >= 0.0) || !(ft.backoff_factor >= 1.0) || !(ft.backoff_max >= 0.0)) {
+        throw SimError("fault_tolerance backoff parameters are malformed");
+      }
+      // Throws std::invalid_argument on a malformed FaultSpec.
+      timeline_ = faults::FaultTimeline(options.faults, platform.size(), options.seed);
     }
   }
 
@@ -69,9 +117,24 @@ class Engine final : public MasterContext {
   }
 
   SimResult run() {
+    if (faults_on_) {
+      for (std::size_t w = 0; w < platform_.size(); ++w) schedule_ground_fault(w, 0.0);
+    }
     try_dispatch();
+    if (faults_on_) maybe_finish();  // Zero-work edge: nothing was ever pending.
     sim_.run();
     finalize_checks();
+
+    // Close the Gantt row of workers that never recovered: their outage
+    // interval extends past the end of the run.
+    if (faults_on_ && options_.record_trace) {
+      for (std::size_t w = 0; w < platform_.size(); ++w) {
+        if (!ground_alive_[w]) {
+          trace_.add({SpanKind::kDown, w, 0.0, down_since_[w],
+                      std::max(makespan_, down_since_[w])});
+        }
+      }
+    }
 
     SimResult result;
     result.makespan = makespan_;
@@ -81,6 +144,7 @@ class Engine final : public MasterContext {
     result.downlink_busy_time = downlink_busy_time_;
     result.events = sim_.events_processed();
     result.workers = outcomes_;
+    result.faults = fstats_;
     result.trace = std::move(trace_);
     return result;
   }
@@ -92,7 +156,205 @@ class Engine final : public MasterContext {
     return queues_[w].size() + in_flight_[w];
   }
 
+  // Fault layer ------------------------------------------------------------
+  //
+  // Two views of worker availability are kept strictly separate:
+  //   - ground truth (ground_alive_, driven by the FaultTimeline), which only
+  //     the physical event handlers consult, and
+  //   - the master's belief (believed_down_ / WorkerStatus::alive), which
+  //     changes only through the completion-timeout watchdog (fence) and the
+  //     post-backoff rejoin — never by peeking at ground truth.
+
+  /// Schedules the worker's next ground-truth failure at/after `from`.
+  void schedule_ground_fault(std::size_t w, des::SimTime from) {
+    const std::optional<faults::Outage> outage = timeline_.next_outage(w, from);
+    if (!outage) return;
+    const des::SimTime at = std::max(outage->down, from);
+    fault_event_[w] = sim_.schedule_at(at, [this, w, o = *outage] {
+      fault_event_[w] = 0;
+      ground_down(w, o);
+    });
+  }
+
+  /// Ground truth: worker w crashes. Everything it holds — queued chunks and
+  /// the computation in progress — is lost. The master is NOT told; it finds
+  /// out when the completion-timeout fires.
+  void ground_down(std::size_t w, const faults::Outage& o) {
+    ground_alive_[w] = false;
+    down_since_[w] = sim_.now();
+    ++fstats_.failures;
+    queues_[w].clear();
+    abort_compute(w);
+    if (!o.permanent()) {
+      fault_event_[w] = sim_.schedule_at(o.up, [this, w] {
+        fault_event_[w] = 0;
+        ground_up(w);
+      });
+    }
+  }
+
+  /// Ground truth: worker w recovers (empty-handed). If the master had
+  /// fenced it, the worker pings the master and is re-admitted once its
+  /// blacklist backoff expires.
+  void ground_up(std::size_t w) {
+    ground_alive_[w] = true;
+    ++fstats_.recoveries;
+    if (options_.record_trace) {
+      trace_.add({SpanKind::kDown, w, 0.0, down_since_[w], sim_.now()});
+    }
+    if (believed_down_[w]) schedule_rejoin(w);
+    schedule_ground_fault(w, sim_.now());
+  }
+
+  /// Cuts short the computation in progress at w (if any). The partial
+  /// result is discarded; the trace span is truncated and re-labeled.
+  void abort_compute(std::size_t w) {
+    if (!computing_[w]) return;
+    computing_[w] = false;
+    sim_.cancel(compute_event_[w]);
+    compute_event_[w] = 0;
+    if (options_.record_trace && compute_span_[w] != kNoSpan) {
+      trace_.truncate(compute_span_[w], sim_.now(), SpanKind::kAborted);
+    }
+    compute_span_[w] = kNoSpan;
+  }
+
+  /// Schedules re-admission of a fenced worker at the end of its blacklist
+  /// window. Deduplicated: at most one rejoin event per worker.
+  void schedule_rejoin(std::size_t w) {
+    if (rejoin_event_[w] != 0) return;
+    const des::SimTime at = std::max(sim_.now(), blacklist_until_[w]);
+    rejoin_event_[w] = sim_.schedule_at(at, [this, w] {
+      rejoin_event_[w] = 0;
+      try_rejoin(w);
+    });
+  }
+
+  void try_rejoin(std::size_t w) {
+    // A worker that went down again before its backoff expired re-pings on
+    // its next recovery (ground_up re-checks believed_down_).
+    if (work_all_done_ || !believed_down_[w] || !ground_alive_[w]) return;
+    believed_down_[w] = false;
+    WorkerStatus& st = status_[w];
+    st.alive = true;
+    st.predicted_ready = sim_.now();
+    ++fstats_.rejoins;
+    policy_.on_worker_up(*this, w);
+    try_dispatch();
+  }
+
+  /// Arms the completion-timeout watchdog for w's oldest outstanding chunk:
+  /// if no completion arrives within timeout_slack times the predicted
+  /// remaining duration, the worker is presumed lost. One timer per worker.
+  void arm_timeout(std::size_t w) {
+    if (!faults_on_ || timeout_event_[w] != 0 || dispatch_records_[w].empty()) return;
+    const DispatchRecord& head = dispatch_records_[w].front();
+    // The floor of one predicted compute time keeps the window sane when the
+    // prediction is already overdue (predicted_completion < now).
+    const double remaining =
+        std::max(head.predicted_completion - sim_.now(), head.predicted_comp);
+    const des::SimTime deadline =
+        sim_.now() + options_.fault_tolerance.timeout_slack * remaining;
+    timeout_event_[w] = sim_.schedule_at(deadline, [this, w] {
+      timeout_event_[w] = 0;
+      fence(w);
+    });
+  }
+
+  /// The completion-timeout fired: the master fences w. The fence is
+  /// authoritative — the worker's lease is revoked (late arrivals from
+  /// before the fence are discarded via the lease epoch), every outstanding
+  /// chunk is reclaimed into the re-dispatch pool, and the worker is
+  /// blacklisted with exponential backoff before it may rejoin.
+  void fence(std::size_t w) {
+    WorkerStatus& st = status_[w];
+    ++fstats_.suspicions;
+    ++suspicions_[w];
+    st.alive = false;
+    st.suspected = true;
+    st.suspicions = suspicions_[w];
+    believed_down_[w] = true;
+
+    const auto& ft = options_.fault_tolerance;
+    const double backoff =
+        std::min(ft.backoff_max,
+                 ft.backoff_base *
+                     std::pow(ft.backoff_factor, static_cast<double>(suspicions_[w] - 1)));
+    blacklist_until_[w] = sim_.now() + backoff;
+
+    for (const DispatchRecord& rec : dispatch_records_[w]) {
+      redispatch_queue_.push_back({rec.chunk, true});
+      ++fstats_.chunks_lost;
+      fstats_.work_lost += rec.chunk;
+    }
+    dispatch_records_[w].clear();
+    st.outstanding = 0;
+    pending_pred_comp_[w].clear();
+    st.predicted_ready = sim_.now();
+    ++lease_epoch_[w];
+    queues_[w].clear();
+    abort_compute(w);
+
+    // A rendezvous send blocked on this worker is reclaimed too. It was
+    // never counted as dispatched (begin_send did not run), so it re-enters
+    // the pool as a first dispatch, not a re-dispatch.
+    if (pending_send_ && pending_send_->worker == w) {
+      redispatch_queue_.push_back({pending_send_->chunk, false});
+      pending_send_.reset();
+      RUMR_CHECK(busy_channels_ > 0, "blocked send reclaimed with no channel held");
+      --busy_channels_;
+    }
+
+    if (ground_alive_[w]) schedule_rejoin(w);  // False positive: it can re-ping.
+    policy_.on_worker_down(*this, w);
+    try_dispatch();
+  }
+
+  /// Sends reclaimed chunks to the best believed-alive worker (lowest
+  /// predicted_ready, ties to the lowest index) that can receive right now.
+  /// Re-dispatches take priority over fresh policy dispatches.
+  void drain_redispatch() {
+    while (busy_channels_ < options_.uplink_channels && !pending_send_ &&
+           !redispatch_queue_.empty()) {
+      std::optional<std::size_t> target;
+      for (std::size_t w = 0; w < platform_.size(); ++w) {
+        if (believed_down_[w] || !can_receive(w)) continue;
+        if (!target || status_[w].predicted_ready < status_[*target].predicted_ready) {
+          target = w;
+        }
+      }
+      if (!target) return;  // Retried when a buffer slot or worker frees up.
+      const RedispatchItem item = redispatch_queue_.front();
+      redispatch_queue_.pop_front();
+      if (item.was_dispatched) {
+        ++fstats_.chunks_redispatched;
+        fstats_.work_redispatched += item.chunk;
+      }
+      begin_send({*target, item.chunk});
+    }
+  }
+
+  /// Once the workload is fully computed and drained, cancel every pending
+  /// fault-layer event so the simulation can end (a transient timeline would
+  /// otherwise generate outages forever).
+  void maybe_finish() {
+    if (!faults_on_ || work_all_done_) return;
+    if (!policy_.finished() || !redispatch_queue_.empty() || pending_send_) return;
+    for (std::size_t w = 0; w < platform_.size(); ++w) {
+      if (status_[w].outstanding != 0) return;
+    }
+    if (!output_queue_.empty() || downlink_busy_) return;
+    work_all_done_ = true;
+    for (std::size_t w = 0; w < platform_.size(); ++w) {
+      if (fault_event_[w] != 0) sim_.cancel(fault_event_[w]);
+      if (rejoin_event_[w] != 0) sim_.cancel(rejoin_event_[w]);
+      if (timeout_event_[w] != 0) sim_.cancel(timeout_event_[w]);
+      fault_event_[w] = rejoin_event_[w] = timeout_event_[w] = 0;
+    }
+  }
+
   void try_dispatch() {
+    if (faults_on_) drain_redispatch();
     // The pending (blocked) send is the head of the master's queue; nothing
     // may overtake it.
     while (busy_channels_ < options_.uplink_channels && !pending_send_) {
@@ -159,6 +421,14 @@ class Engine final : public MasterContext {
     st.predicted_ready = std::max(st.predicted_ready, predicted_arrival) + predicted_comp;
     pending_pred_comp_[w].push_back(predicted_comp);
 
+    const std::uint64_t lease = faults_on_ ? ++next_lease_ : 0;
+    if (faults_on_) {
+      // Lease record: predicted_ready now equals this chunk's predicted
+      // completion time, which is what the watchdog times against.
+      dispatch_records_[w].push_back({chunk, st.predicted_ready, predicted_comp, lease});
+      arm_timeout(w);
+    }
+
     if (options_.record_trace) {
       trace_.add({SpanKind::kUplink, w, chunk, t0, uplink_free});
       if (actual_tail > 0.0) trace_.add({SpanKind::kTail, w, chunk, uplink_free, arrival});
@@ -169,15 +439,24 @@ class Engine final : public MasterContext {
       --busy_channels_;
       try_dispatch();
     });
-    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp] {
+    const std::size_t epoch = faults_on_ ? lease_epoch_[w] : 0;
+    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp, epoch, lease] {
       RUMR_CHECK(in_flight_[w] > 0, "chunk arrived at a worker with nothing in flight");
       --in_flight_[w];
-      queues_[w].push_back({chunk, predicted_comp});
+      if (faults_on_ && (epoch != lease_epoch_[w] || !ground_alive_[w])) {
+        // Stale lease (the worker was fenced after this send — the chunk was
+        // already reclaimed) or a dead target: the payload evaporates. The
+        // freed buffer slot may let a queued re-dispatch proceed.
+        if (!redispatch_queue_.empty()) try_dispatch();
+        return;
+      }
+      queues_[w].push_back({chunk, predicted_comp, lease});
       maybe_start_compute(w);
     });
   }
 
   void maybe_start_compute(std::size_t w) {
+    if (faults_on_ && !ground_alive_[w]) return;
     if (computing_[w] || queues_[w].empty()) return;
     const QueuedChunk next = queues_[w].front();
     queues_[w].pop_front();
@@ -200,17 +479,43 @@ class Engine final : public MasterContext {
 
     WorkerOutcome& out = outcomes_[w];
     if (out.chunks == 0) out.first_start = t0;
-    if (options_.record_trace) trace_.add({SpanKind::kCompute, w, next.chunk, t0, t1});
+    if (options_.record_trace) {
+      if (faults_on_) compute_span_[w] = trace_.size();
+      trace_.add({SpanKind::kCompute, w, next.chunk, t0, t1});
+    }
 
-    sim_.schedule_at(t1, [this, w, next, actual_comp, t1] {
+    const des::EventId done = sim_.schedule_at(t1, [this, w, next, actual_comp, t1] {
       complete_chunk(w, next, actual_comp, t1);
     });
+    if (faults_on_) compute_event_[w] = done;
+
+    // The freed slot may also admit a queued re-dispatch.
+    if (faults_on_ && !redispatch_queue_.empty()) try_dispatch();
   }
 
   void complete_chunk(std::size_t w, const QueuedChunk& done, double actual_comp,
                       des::SimTime t1) {
     RUMR_CHECK(computing_[w], "completion for a worker that was not computing");
     computing_[w] = false;
+    if (faults_on_) {
+      RUMR_CHECK(ground_alive_[w], "completion from a ground-dead worker");
+      compute_event_[w] = 0;
+      compute_span_[w] = kNoSpan;
+      if (timeout_event_[w] != 0) {
+        sim_.cancel(timeout_event_[w]);
+        timeout_event_[w] = 0;
+      }
+      // Settle this chunk's lease by identity — completions can arrive out of
+      // dispatch order when an outage dropped an earlier delivery.
+      auto& records = dispatch_records_[w];
+      for (auto it = records.begin(); it != records.end(); ++it) {
+        if (it->lease == done.lease) {
+          records.erase(it);
+          break;
+        }
+      }
+      arm_timeout(w);
+    }
 
     WorkerOutcome& out = outcomes_[w];
     out.work += done.chunk;
@@ -238,6 +543,7 @@ class Engine final : public MasterContext {
 
     maybe_start_compute(w);
     try_dispatch();
+    if (faults_on_) maybe_finish();
   }
 
   /// Output-data model: results return to the master over a shared,
@@ -265,6 +571,7 @@ class Engine final : public MasterContext {
       downlink_busy_ = false;
       makespan_ = std::max(makespan_, t1);
       maybe_start_output();
+      if (faults_on_) maybe_finish();
     });
   }
 
@@ -277,24 +584,74 @@ class Engine final : public MasterContext {
       throw SimError("policy '" + std::string(policy_.name()) +
                      "' dispatched a non-positive chunk: " + std::to_string(d.chunk));
     }
+    if (faults_on_ && believed_down_[d.worker]) {
+      throw SimError("policy '" + std::string(policy_.name()) + "' dispatched to worker " +
+                     std::to_string(d.worker) +
+                     ", which the master fenced (WorkerStatus::alive is false)");
+    }
+  }
+
+  /// Per-worker state dump appended to deadlock/stranding diagnostics.
+  void describe_workers(std::ostringstream& msg) const {
+    for (std::size_t w = 0; w < platform_.size(); ++w) {
+      const WorkerStatus& st = status_[w];
+      msg << "\n  worker " << w << ": believed " << (believed_down_[w] ? "down" : "alive");
+      if (faults_on_) msg << ", actually " << (ground_alive_[w] ? "up" : "down");
+      msg << ", outstanding=" << st.outstanding << ", queued=" << queues_[w].size()
+          << ", in_flight=" << in_flight_[w] << ", computing=" << (computing_[w] ? "yes" : "no");
+      if (suspicions_[w] > 0) msg << ", fenced x" << suspicions_[w];
+    }
+    if (faults_on_ && !redispatch_queue_.empty()) {
+      double pool = 0.0;
+      for (const RedispatchItem& item : redispatch_queue_) pool += item.chunk;
+      msg << "\n  re-dispatch pool: " << redispatch_queue_.size() << " chunks (" << pool
+          << " units) with no eligible target";
+    }
+    if (pending_send_) {
+      msg << "\n  blocked send: " << pending_send_->chunk << " units for worker "
+          << pending_send_->worker;
+    }
   }
 
   void finalize_checks() const {
-    if (!policy_.finished()) {
+    const bool stranded_work = faults_on_ && !redispatch_queue_.empty();
+    if (!policy_.finished() || stranded_work) {
+      std::size_t believed_alive = 0;
+      for (std::size_t w = 0; w < platform_.size(); ++w) {
+        if (!believed_down_[w]) ++believed_alive;
+      }
       std::ostringstream msg;
-      msg << "policy '" << policy_.name() << "' deadlocked: simulation drained at t=" << sim_.now()
-          << " with the policy unfinished (" << work_dispatched_ << " of " << policy_.total_work()
-          << " units dispatched)";
+      msg << "policy '" << policy_.name() << "' ";
+      if (faults_on_ && believed_alive == 0) {
+        msg << "stranded: all workers are dead or unreachable";
+      } else {
+        msg << "deadlocked: simulation drained";
+      }
+      msg << " at t=" << sim_.now() << " with work remaining (" << work_dispatched_ << " of "
+          << policy_.total_work() << " units dispatched, "
+          << (policy_.finished() ? "policy finished" : "policy unfinished") << ")";
+      describe_workers(msg);
       throw SimError(msg.str());
     }
     const double expected = policy_.total_work();
+    // Re-dispatched work was counted in work_dispatched_ twice (or more);
+    // conservation holds for the net amount.
+    const double net_dispatched = work_dispatched_ - fstats_.work_redispatched;
     const double scale = std::max(1.0, std::abs(expected));
-    if (std::abs(work_dispatched_ - expected) > options_.work_tolerance * scale) {
+    if (std::abs(net_dispatched - expected) > options_.work_tolerance * scale) {
       std::ostringstream msg;
-      msg << "policy '" << policy_.name() << "' dispatched " << work_dispatched_
-          << " units, expected " << expected << " (tolerance " << options_.work_tolerance << ")";
+      msg << "policy '" << policy_.name() << "' dispatched " << net_dispatched
+          << " net units, expected " << expected << " (tolerance " << options_.work_tolerance
+          << ")";
       throw SimError(msg.str());
     }
+    // Exactly-once re-dispatch: at a successful drain every reclaimed chunk
+    // was sent again exactly once.
+    RUMR_CHECK(fstats_.chunks_lost == fstats_.chunks_redispatched,
+               "lost chunks not re-dispatched exactly once");
+    RUMR_CHECK(std::abs(fstats_.work_lost - fstats_.work_redispatched) <=
+                   options_.work_tolerance * scale,
+               "lost work not re-dispatched exactly once");
     // Engine-internal drain invariants, checked after the policy-misbehavior
     // paths above (a deadlocked policy legitimately leaves a blocked send
     // behind; these tripping on a *finished* run means an engine bug).
@@ -336,6 +693,27 @@ class Engine final : public MasterContext {
   std::optional<Dispatch> pending_send_;
   std::vector<std::deque<double>> pending_pred_comp_;
   Trace trace_;
+
+  // Fault layer (all inert when faults_on_ is false).
+  static constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+  bool faults_on_ = false;
+  faults::FaultTimeline timeline_;
+  std::vector<char> ground_alive_;        ///< Ground truth from the timeline.
+  std::vector<char> believed_down_;       ///< Master belief (fenced/blacklisted).
+  std::vector<des::SimTime> down_since_;  ///< Start of the current outage.
+  std::vector<des::EventId> fault_event_;    ///< Pending ground down/up event.
+  std::vector<des::EventId> rejoin_event_;   ///< Pending re-admission event.
+  std::vector<des::EventId> timeout_event_;  ///< Pending watchdog event.
+  std::vector<des::EventId> compute_event_;  ///< Pending completion (abortable).
+  std::vector<std::size_t> compute_span_;    ///< Trace index of the running compute.
+  std::vector<des::SimTime> blacklist_until_;
+  std::vector<std::size_t> suspicions_;
+  std::vector<std::size_t> lease_epoch_;  ///< Bumped at each fence; stale arrivals drop.
+  std::uint64_t next_lease_ = 0;          ///< Per-dispatch lease id source.
+  std::vector<std::deque<DispatchRecord>> dispatch_records_;
+  std::deque<RedispatchItem> redispatch_queue_;
+  FaultSummary fstats_;
+  bool work_all_done_ = false;
 };
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "faults/fault_model.hpp"
 #include "platform/platform.hpp"
 #include "sim/policy.hpp"
 #include "sim/trace.hpp"
@@ -73,6 +74,26 @@ struct SimOptions {
   /// idealization benchmarked in the ablation suite.
   std::size_t worker_buffer_capacity = 1;
 
+  /// Worker-availability fault model. Defaults to FaultKind::kNone, in which
+  /// case the fault layer adds zero events and zero RNG draws — runs are
+  /// byte-identical to a build without the subsystem.
+  faults::FaultSpec faults{};
+
+  /// Master-side failure-detection and re-admission knobs (used only when
+  /// `faults` is enabled).
+  struct FaultToleranceOptions {
+    /// The master declares a worker lost when a chunk's completion is overdue
+    /// by `timeout_slack` times its predicted remaining duration. Must be
+    /// > 1; larger values tolerate more prediction error before fencing but
+    /// detect real failures later.
+    double timeout_slack = 4.0;
+    /// Blacklist duration after the k-th fencing of a worker:
+    /// min(backoff_max, backoff_base * backoff_factor^(k-1)) seconds.
+    double backoff_base = 1.0;
+    double backoff_factor = 4.0;
+    double backoff_max = 1024.0;
+  } fault_tolerance{};
+
   /// Convenience: same error level on both resources with the paper's
   /// truncated-normal model.
   [[nodiscard]] static SimOptions with_error(double error, std::uint64_t seed = 1) {
@@ -93,6 +114,18 @@ struct WorkerOutcome {
   double last_end = 0.0;    ///< When the last computation finished.
 };
 
+/// Fault-layer statistics for one run (all zero when faults are disabled).
+struct FaultSummary {
+  std::size_t failures = 0;     ///< Ground-truth worker-down transitions.
+  std::size_t recoveries = 0;   ///< Ground-truth worker-up transitions.
+  std::size_t suspicions = 0;   ///< Completion-timeouts fired (workers fenced).
+  std::size_t rejoins = 0;      ///< Fenced workers re-admitted after backoff.
+  std::size_t chunks_lost = 0;  ///< Dispatched chunks reclaimed from fenced workers.
+  double work_lost = 0.0;       ///< Workload units in those chunks.
+  std::size_t chunks_redispatched = 0;  ///< Reclaimed chunks sent again.
+  double work_redispatched = 0.0;       ///< Workload units sent again.
+};
+
 /// Result of a simulated run.
 struct SimResult {
   /// Completion time of the last chunk (or of the last output transfer when
@@ -104,6 +137,7 @@ struct SimResult {
   double downlink_busy_time = 0.0;    ///< Output transfers (0 unless enabled).
   std::size_t events = 0;             ///< DES events executed.
   std::vector<WorkerOutcome> workers;
+  FaultSummary faults;                ///< Fault-layer counters (zero when disabled).
   Trace trace;                        ///< Populated iff record_trace.
 
   /// Mean worker utilization: busy time / makespan, averaged over workers.
@@ -113,7 +147,10 @@ struct SimResult {
 /// Runs one policy to completion on one platform.
 ///
 /// Throws SimError if the policy emits an invalid dispatch, deadlocks
-/// (unfinished with no pending events), or fails work conservation.
+/// (unfinished with no pending events), or fails work conservation. With
+/// faults enabled the run degrades gracefully — lost chunks are re-dispatched
+/// to survivors — and SimError is raised only when work remains but every
+/// worker is dead or unreachable.
 [[nodiscard]] SimResult simulate(const platform::StarPlatform& platform, SchedulerPolicy& policy,
                                  const SimOptions& options);
 

@@ -38,6 +38,17 @@ struct WorkerStatus {
   std::size_t completed_chunks = 0;
   /// Time of the most recent completion notification (0 if none yet).
   des::SimTime last_completion = 0.0;
+  /// Master belief: the worker is reachable and may be dispatched to. Becomes
+  /// false when a completion-timeout fires (the master fences the worker and
+  /// reclaims its outstanding chunks) and true again when the worker rejoins
+  /// after its blacklist backoff. Always true when faults are disabled.
+  /// Policies must not dispatch to a worker whose `alive` is false.
+  bool alive = true;
+  /// The worker has been fenced at least once this run (a flapper/dead flag
+  /// policies may use to deprioritize it even after a rejoin).
+  bool suspected = false;
+  /// Number of times the master's completion-timeout fenced this worker.
+  std::size_t suspicions = 0;
 };
 
 /// Completion notification passed to SchedulerPolicy::on_chunk_completed.
@@ -82,6 +93,22 @@ class SchedulerPolicy {
   virtual void on_chunk_completed(const MasterContext& ctx, const CompletionInfo& info) {
     (void)ctx;
     (void)info;
+  }
+
+  /// The master fenced `worker` (completion-timeout: it is presumed lost, its
+  /// outstanding chunks were reclaimed into the master's re-dispatch pool,
+  /// and worker_status(worker).alive is now false). Optional hook; policies
+  /// that precompute per-worker shares can rebalance here.
+  virtual void on_worker_down(const MasterContext& ctx, std::size_t worker) {
+    (void)ctx;
+    (void)worker;
+  }
+
+  /// A previously fenced `worker` rejoined after its backoff (alive again,
+  /// with an empty queue). Optional hook.
+  virtual void on_worker_up(const MasterContext& ctx, std::size_t worker) {
+    (void)ctx;
+    (void)worker;
   }
 
   /// When next_dispatch returned nullopt because the policy is waiting for a

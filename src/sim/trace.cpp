@@ -47,17 +47,20 @@ std::string Trace::render_gantt(std::size_t num_workers, std::size_t width) cons
     const char mark = s.kind == SpanKind::kUplink ? '#'
                       : s.kind == SpanKind::kOutput ? 'o'
                       : s.kind == SpanKind::kCompute ? '='
-                                                     : '.';
+                      : s.kind == SpanKind::kAborted ? '!'
+                      : s.kind == SpanKind::kDown ? 'x'
+                                                  : '.';
     const std::size_t c0 = column(s.start);
     const std::size_t c1 = column(std::nextafter(s.end, s.start));
     for (std::size_t c = c0; c <= c1 && c < width; ++c) {
-      // Compute marks dominate tail marks when they overlap in a cell.
-      if (rows[row][c] == ' ' || mark == '=') rows[row][c] = mark;
+      // Compute/abort/down marks dominate tail marks when cells overlap.
+      if (rows[row][c] == ' ' || mark == '=' || mark == '!' || mark == 'x') rows[row][c] = mark;
     }
   }
 
   std::ostringstream out;
-  out << "time 0 .. " << horizon << " s  (#=uplink busy, ==compute, .=tail, o=output)\n";
+  out << "time 0 .. " << horizon
+      << " s  (#=uplink busy, ==compute, .=tail, o=output, !=aborted, x=down)\n";
   out << "master  |" << rows[0] << "|\n";
   for (std::size_t w = 0; w < num_workers; ++w) {
     out << "work " << w << (w < 10 ? "  |" : " |") << rows[w + 1] << "|\n";

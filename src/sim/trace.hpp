@@ -17,6 +17,8 @@ enum class SpanKind : unsigned char {
   kTail,     ///< Last-byte propagation (tLat), overlappable.
   kCompute,  ///< Worker computing a chunk (cLat + chunk/S, perturbed).
   kOutput,   ///< Output data returning over the master downlink (optional model).
+  kAborted,  ///< Computation cut short by a worker failure (result lost).
+  kDown,     ///< Worker unavailable (fault-injection outage interval).
 };
 
 /// One half-open activity interval [start, end).
@@ -33,6 +35,15 @@ class Trace {
  public:
   void add(const TraceSpan& span) { spans_.push_back(span); }
   void clear() noexcept { spans_.clear(); }
+
+  /// Rewrites span `i`'s end time and kind. The engine records compute spans
+  /// at their start with the predicted end; when a worker fails mid-chunk the
+  /// span is truncated to the failure instant and re-labeled kAborted.
+  void truncate(std::size_t i, des::SimTime end, SpanKind kind) {
+    TraceSpan& span = spans_.at(i);
+    span.end = end;
+    span.kind = kind;
+  }
 
   [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
   [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }

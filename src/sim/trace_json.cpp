@@ -18,6 +18,10 @@ const char* span_name(SpanKind kind) {
       return "compute";
     case SpanKind::kOutput:
       return "output";
+    case SpanKind::kAborted:
+      return "aborted";
+    case SpanKind::kDown:
+      return "down";
   }
   return "span";
 }
@@ -30,6 +34,8 @@ long long span_tid(const TraceSpan& span) {
       return 1;
     case SpanKind::kTail:
     case SpanKind::kCompute:
+    case SpanKind::kAborted:
+    case SpanKind::kDown:
       return 10 + static_cast<long long>(span.worker);
   }
   return 0;

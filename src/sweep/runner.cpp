@@ -12,11 +12,15 @@ namespace rumr::sweep {
 namespace {
 
 sim::SimOptions make_sim_options(double error, std::uint64_t seed,
-                                 stats::ErrorDistribution distribution) {
+                                 stats::ErrorDistribution distribution,
+                                 const faults::FaultSpec& faults = {},
+                                 const sim::SimOptions::FaultToleranceOptions& tolerance = {}) {
   sim::SimOptions options;
   options.comm_error = stats::ErrorModel(distribution, error);
   options.comp_error = stats::ErrorModel(distribution, error);
   options.seed = seed;
+  options.faults = faults;
+  options.fault_tolerance = tolerance;
   return options;
 }
 
@@ -126,7 +130,9 @@ SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
           for (std::size_t a = 0; a < algorithms.size(); ++a) {
             const auto policy = algorithms[a].make(platform, options.w_total, error);
             const sim::SimResult sim_result =
-                simulate(platform, *policy, make_sim_options(error, seed, options.distribution));
+                simulate(platform, *policy,
+                         make_sim_options(error, seed, options.distribution, options.faults,
+                                          options.fault_tolerance));
             makespans[a] = sim_result.makespan;
           }
           for (std::size_t a = 0; a < algorithms.size(); ++a) {

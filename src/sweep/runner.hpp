@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_model.hpp"
+#include "sim/master_worker.hpp"
 #include "stats/error_model.hpp"
 #include "stats/summary.hpp"
 #include "sweep/grid.hpp"
@@ -25,6 +27,11 @@ struct SweepOptions {
   std::uint64_t base_seed = 0x5eed5eed5eedULL;            ///< Sweep-level seed.
   stats::ErrorDistribution distribution =
       stats::ErrorDistribution::kTruncatedNormal;         ///< Paper default model.
+  /// Worker-availability fault model applied to every run (default: none,
+  /// the paper's setting). Enables failure-rate grid sweeps.
+  faults::FaultSpec faults{};
+  /// Detection/backoff knobs forwarded to the engine when faults are on.
+  sim::SimOptions::FaultToleranceOptions fault_tolerance{};
 };
 
 /// Aggregated results for one (configuration, error, algorithm) cell.

@@ -113,5 +113,73 @@ TEST(ErrorProcess, WalkWithExactBasePerturbsOnceLevelRises) {
   EXPECT_TRUE(perturbed);
 }
 
+TEST(ErrorProcess, BurstSwitchProbabilityZeroNeverBursts) {
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::truncated_normal(0.1);
+  spec.dynamics = ErrorDynamics::kBurst;
+  spec.burst_factor = 4.0;
+  spec.switch_probability = 0.0;
+  ErrorProcess process(spec);
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    (void)process.actual_duration(1.0, rng);
+    EXPECT_DOUBLE_EQ(process.current_error(), 0.1) << "burst entered at step " << i;
+  }
+}
+
+TEST(ErrorProcess, BurstSwitchProbabilityOneTogglesEveryOperation) {
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::truncated_normal(0.1);
+  spec.dynamics = ErrorDynamics::kBurst;
+  spec.burst_factor = 4.0;
+  spec.switch_probability = 1.0;
+  ErrorProcess process(spec);
+  Rng rng(29);
+  // Starts calm; with certain switching the regime alternates strictly.
+  double previous = process.current_error();
+  EXPECT_DOUBLE_EQ(previous, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    (void)process.actual_duration(1.0, rng);
+    const double level = process.current_error();
+    EXPECT_NE(level, previous) << "regime failed to toggle at step " << i;
+    EXPECT_DOUBLE_EQ(level, (i % 2 == 0) ? 0.4 : 0.1);
+    previous = level;
+  }
+}
+
+TEST(ErrorProcess, WalkStepZeroKeepsLevelConstant) {
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::truncated_normal(0.2);
+  spec.dynamics = ErrorDynamics::kRandomWalk;
+  spec.walk_step = 0.0;
+  ErrorProcess process(spec);
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    (void)process.actual_duration(1.0, rng);
+    EXPECT_DOUBLE_EQ(process.current_error(), 0.2) << "level drifted at step " << i;
+  }
+}
+
+TEST(ErrorProcess, WalkReflectsAtCeiling) {
+  // Start the walk at the ceiling: reflection must keep it inside [0, max]
+  // while large steps keep pushing against the boundary.
+  ErrorProcessSpec spec;
+  spec.base = ErrorModel::truncated_normal(0.3);
+  spec.dynamics = ErrorDynamics::kRandomWalk;
+  spec.walk_step = 0.2;
+  spec.walk_max = 0.3;
+  ErrorProcess process(spec);
+  Rng rng(37);
+  bool touched_ceiling_region = false;
+  for (int i = 0; i < 5000; ++i) {
+    (void)process.actual_duration(1.0, rng);
+    const double level = process.current_error();
+    EXPECT_GE(level, 0.0);
+    EXPECT_LE(level, 0.3 + 1e-12);
+    if (level > 0.25) touched_ceiling_region = true;
+  }
+  EXPECT_TRUE(touched_ceiling_region);  // Reflection, not absorption, at the top.
+}
+
 }  // namespace
 }  // namespace rumr::stats
