@@ -1,0 +1,131 @@
+// bench_perf_json — machine-readable performance snapshot.
+//
+// Times the two quantities that bound sweep capacity — raw DES event
+// throughput and full master-worker engine runs — with plain steady_clock
+// timing (no google-benchmark dependency, so it runs in any build) and
+// writes results/BENCH_des.json:
+//
+//   {
+//     "des_chain_events_per_sec":  ...,   // serial event chain
+//     "des_fanout_events_per_sec": ...,   // wide pre-scheduled fan-out
+//     "engine_runs_per_sec":       ...,   // UMR runs under 30% error
+//     "engine_events_per_sec":     ...    // DES events inside those runs
+//   }
+//
+// CI archives the file per commit; regression tooling diffs it. Numbers are
+// machine-dependent by nature, so the file carries only rates — nothing that
+// varies run-to-run at fixed performance (no dates, no hostnames).
+//
+// Usage: bench_perf_json [output-path]   (default results/BENCH_des.json)
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "api/rumr.hpp"
+
+namespace {
+
+using namespace rumr;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Serial dependent chain: each event schedules the next, so throughput is
+/// bounded by per-event scheduling + dispatch cost.
+double des_chain_events_per_sec() {
+  constexpr std::size_t kChain = 200000;
+  constexpr int kRounds = 5;
+  std::size_t events = 0;
+  const auto start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    des::Simulator sim;
+    std::size_t remaining = kChain;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) sim.schedule_in(1.0, next);
+    };
+    sim.schedule_at(0.0, next);
+    sim.run();
+    events += sim.events_processed();
+  }
+  return static_cast<double>(events) / seconds_since(start);
+}
+
+/// Wide fan-out: everything pre-scheduled, so throughput is bounded by the
+/// priority-queue push/pop cost at depth.
+double des_fanout_events_per_sec() {
+  constexpr std::size_t kWidth = 100000;
+  constexpr int kRounds = 5;
+  std::size_t events = 0;
+  const auto start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    des::Simulator sim;
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+    events += sim.events_processed();
+  }
+  return static_cast<double>(events) / seconds_since(start);
+}
+
+struct EngineRates {
+  double runs_per_sec = 0.0;
+  double events_per_sec = 0.0;
+};
+
+/// Full engine runs: UMR on the paper's 10-worker platform under 30% error,
+/// the sweep harness's unit of work.
+EngineRates engine_rates() {
+  constexpr int kRuns = 200;
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 10, .speed = 1.0, .bandwidth = 15.0, .comp_latency = 0.2,
+       .comm_latency = 0.1});
+  std::size_t events = 0;
+  const auto start = Clock::now();
+  for (int run = 0; run < kRuns; ++run) {
+    core::UmrPolicy policy(p, 1000.0);
+    const sim::SimResult result =
+        simulate(p, policy,
+                 sim::SimOptions::with_error(0.3, static_cast<std::uint64_t>(run + 1)));
+    events += result.events;
+  }
+  const double elapsed = seconds_since(start);
+  return {static_cast<double>(kRuns) / elapsed, static_cast<double>(events) / elapsed};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "results/BENCH_des.json";
+
+  const double chain = des_chain_events_per_sec();
+  const double fanout = des_fanout_events_per_sec();
+  const EngineRates engine = engine_rates();
+
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_perf_json: cannot open %s for writing\n", path);
+    return 1;
+  }
+  out << "{\n"
+      << "  \"des_chain_events_per_sec\": " << chain << ",\n"
+      << "  \"des_fanout_events_per_sec\": " << fanout << ",\n"
+      << "  \"engine_runs_per_sec\": " << engine.runs_per_sec << ",\n"
+      << "  \"engine_events_per_sec\": " << engine.events_per_sec << "\n"
+      << "}\n";
+  out.close();
+
+  std::printf("DES chain : %.3g events/s\n", chain);
+  std::printf("DES fanout: %.3g events/s\n", fanout);
+  std::printf("engine    : %.3g runs/s, %.3g events/s\n", engine.runs_per_sec,
+              engine.events_per_sec);
+  std::printf("written to %s\n", path);
+  return 0;
+}

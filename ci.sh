@@ -2,20 +2,24 @@
 # CI driver: builds and tests every correctness configuration.
 #
 #   ./ci.sh            all stages
-#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy
+#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | metrics
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
-#   release     Release build + full ctest suite + determinism harness
+#   release     Release build + full ctest suite + determinism harness +
+#               machine-readable perf snapshot (results/BENCH_des.json)
 #   asan-ubsan  Debug + ASan/UBSan + expensive-tier RUMR_CHECKs + ctest
 #   tsan        RelWithDebInfo + TSan + expensive-tier RUMR_CHECKs + ctest
 #   tidy        clang-tidy over src/ with the repo .clang-tidy, zero-warning
 #               gate (skipped with a notice when clang-tidy is not installed)
+#   metrics     self-auditing observability demo (tools/metrics_demo) under
+#               the release and asan-ubsan presets; every scenario's metrics
+#               must satisfy the check:: identity audits
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy}")
+STAGES=("${@:-release asan-ubsan tsan tidy metrics}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -24,9 +28,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy) ;;
+    release|asan-ubsan|tsan|tidy|metrics) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | metrics)" >&2
       exit 2
       ;;
   esac
@@ -50,6 +54,8 @@ for stage in "${STAGES[@]}"; do
       ./build/release/tools/determinism_check
       banner "robustness demo [release]"
       ./build/release/tools/robustness_demo
+      banner "perf snapshot [release]"
+      ./build/release/bench/bench_perf_json results/BENCH_des.json
       ;;
     asan-ubsan)
       build_and_test asan-ubsan
@@ -74,8 +80,19 @@ for stage in "${STAGES[@]}"; do
       banner "clang-tidy over src/ [zero-warning gate]"
       cmake --build --preset tidy -j "$JOBS"
       ;;
+    metrics)
+      # The demo exits nonzero when any scenario's metrics violate the
+      # observability identities, so this is a real gate, not a smoke run.
+      for preset in release asan-ubsan; do
+        banner "configure+build metrics_demo [$preset]"
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target metrics_demo
+        banner "metrics demo [$preset]"
+        "./build/$preset/tools/metrics_demo"
+      done
+      ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|metrics)" >&2
       exit 2
       ;;
   esac

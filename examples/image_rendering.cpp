@@ -12,10 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "report/table.hpp"
-#include "sim/master_worker.hpp"
-#include "stats/summary.hpp"
-#include "sweep/scheduler_factory.hpp"
+#include "api/rumr.hpp"
 
 int main() {
   using namespace rumr;

@@ -8,11 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/adaptive_rumr.hpp"
-#include "core/rumr.hpp"
-#include "report/table.hpp"
-#include "sim/master_worker.hpp"
-#include "stats/summary.hpp"
+#include "api/rumr.hpp"
 
 int main() {
   using namespace rumr;

@@ -1,22 +1,19 @@
 // Quickstart: schedule a divisible workload with RUMR and compare it with
 // plain UMR under prediction errors.
 //
-// This walks the whole public API surface once:
+// The single include below is the library's whole public surface. This walks
+// it once:
 //   1. describe the platform            (rumr::platform::StarPlatform)
 //   2. solve & inspect a UMR schedule   (rumr::core::solve_umr)
-//   3. run policies in simulation       (rumr::sim::simulate)
-//   4. render an execution Gantt trace  (rumr::sim::Trace) — the textual
+//   3. execute audited runs             (rumr::Run -> rumr::RunResult)
+//   4. read the observability record    (rumr::obs::RunMetrics)
+//   5. render an execution Gantt trace  (rumr::sim::Trace) — the textual
 //      equivalent of the paper's Figures 2 and 3.
 
 #include <cstdio>
 #include <filesystem>
 
-#include "analysis/bounds.hpp"
-#include "core/rumr.hpp"
-#include "core/umr.hpp"
-#include "core/umr_policy.hpp"
-#include "sim/master_worker.hpp"
-#include "sim/trace_json.hpp"
+#include "api/rumr.hpp"
 
 int main() {
   using namespace rumr;
@@ -46,20 +43,31 @@ int main() {
   std::printf("\npredicted makespan: %.2f s\n\n", schedule.predicted_makespan);
 
   // --- 2. Perfect predictions: UMR's home turf ---------------------------
+  // "umr-eager" is the dispatch-on-demand UMR variant (chunks go out as soon
+  // as the uplink frees); every execute() is audited against the engine's
+  // invariants before it returns.
   {
-    core::UmrPolicy umr(cluster, workload);
-    sim::SimOptions exact;  // no error model
-    exact.record_trace = true;
-    const sim::SimResult result = simulate(cluster, umr, exact);
+    const RunResult result = Run()
+                                 .platform(cluster)
+                                 .workload(workload)
+                                 .algorithm("umr-eager")
+                                 .record_trace()
+                                 .execute();
+    const obs::RunMetrics& m = result.metrics;
     std::printf("UMR with perfect predictions: makespan %.2f s, %zu chunks, "
                 "mean worker utilization %.1f%%\n",
-                result.makespan, result.chunks_dispatched,
-                100.0 * result.mean_worker_utilization());
+                result.makespan, m.engine.dispatches,
+                100.0 * m.engine.mean_worker_utilization);
+    std::printf("observability: uplink busy %.1f%% of the run, %zu DES events, "
+                "peak event-queue depth %zu\n",
+                100.0 * m.engine.uplink_utilization, m.des.events_executed,
+                m.des.queue_depth_high_water);
     std::printf("\nexecution trace (cf. paper Figs. 2-3):\n%s\n",
                 result.trace.render_gantt(cluster.size(), 96).c_str());
 
     // How close is that to provably optimal?
-    const analysis::ScheduleQuality quality = analysis::analyze_run(cluster, result, workload);
+    const analysis::ScheduleQuality quality =
+        analysis::analyze_run(cluster, result.sim, workload);
     std::printf("schedule quality: %.1f%% worker efficiency, %.2fx the analytic lower bound\n",
                 100.0 * quality.worker_efficiency, quality.optimality_gap);
 
@@ -73,25 +81,33 @@ int main() {
   }
 
   // --- 3. Prediction errors: where RUMR earns its R ----------------------
-  std::printf("with 30%% prediction error (40 repetitions each):\n");
-  double umr_mean = 0.0;
-  double rumr_mean = 0.0;
-  const int reps = 40;
+  std::printf("\nwith 30%% prediction error (40 repetitions each):\n");
+  const std::size_t reps = 40;
   const double error = 0.3;
-  for (int rep = 0; rep < reps; ++rep) {
-    core::UmrPolicy umr(cluster, workload);
-    core::RumrOptions options;
-    options.known_error = error;
-    core::RumrPolicy rumr(cluster, workload, options);
-    const auto seed = static_cast<std::uint64_t>(rep + 1);
-    umr_mean += simulate(cluster, umr, sim::SimOptions::with_error(error, seed)).makespan;
-    rumr_mean += simulate(cluster, rumr, sim::SimOptions::with_error(error, seed)).makespan;
+  stats::Accumulator umr_makespans;
+  stats::Accumulator rumr_makespans;
+  for (const RunResult& r : Run()
+                                .platform(cluster)
+                                .workload(workload)
+                                .algorithm("umr-eager")
+                                .error(error)
+                                .repetitions(reps)
+                                .execute_all()) {
+    umr_makespans.add(r.makespan);
   }
-  umr_mean /= reps;
-  rumr_mean /= reps;
-  std::printf("  UMR : %.2f s mean makespan\n", umr_mean);
-  std::printf("  RUMR: %.2f s mean makespan  (%.1f%% better)\n", rumr_mean,
-              100.0 * (umr_mean - rumr_mean) / umr_mean);
+  for (const RunResult& r : Run()
+                                .platform(cluster)
+                                .workload(workload)
+                                .algorithm("rumr")
+                                .known_error(error)
+                                .error(error)
+                                .repetitions(reps)
+                                .execute_all()) {
+    rumr_makespans.add(r.makespan);
+  }
+  std::printf("  UMR : %.2f s mean makespan\n", umr_makespans.mean());
+  std::printf("  RUMR: %.2f s mean makespan  (%.1f%% better)\n", rumr_makespans.mean(),
+              100.0 * (umr_makespans.mean() - rumr_makespans.mean()) / umr_makespans.mean());
 
   core::RumrOptions options;
   options.known_error = error;

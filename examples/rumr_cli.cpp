@@ -3,21 +3,20 @@
 // front end of the paper's section 6, in simulation).
 //
 // Usage:
-//   rumr_cli <run-description-file> [--gantt] [--algorithm NAME]
+//   rumr_cli <run-description-file> [--gantt] [--metrics] [--algorithm NAME]
 //
 // See examples/cluster.rumr for the file format. --algorithm overrides the
 // [schedule] section, making A/B comparisons a shell loop:
 //
 //   for a in rumr umr factoring; do ./rumr_cli cluster.rumr --algorithm $a; done
+//
+// --metrics dumps the final repetition's full observability record as JSON.
 
 #include <cstdio>
 #include <cstring>
 #include <exception>
 
-#include "config/run_description.hpp"
-#include "sim/master_worker.hpp"
-#include "stats/rng.hpp"
-#include "stats/summary.hpp"
+#include "api/rumr.hpp"
 
 int main(int argc, char** argv) {
   using namespace rumr;
@@ -25,9 +24,12 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* algorithm_override = nullptr;
   bool gantt = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gantt") == 0) {
       gantt = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--algorithm") == 0 && i + 1 < argc) {
       algorithm_override = argv[++i];
     } else if (argv[i][0] != '-') {
@@ -36,44 +38,47 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) {
     std::fprintf(stderr,
-                 "usage: rumr_cli <run-description-file> [--gantt] [--algorithm NAME]\n"
+                 "usage: rumr_cli <run-description-file> [--gantt] [--metrics] "
+                 "[--algorithm NAME]\n"
                  "see examples/cluster.rumr for the file format\n");
     return 2;
   }
 
   try {
-    config::RunDescription run = config::run_from_config(config::ConfigFile::load(path));
-    if (algorithm_override != nullptr) run.algorithm = algorithm_override;
+    Run run = Run::from_file(path);
+    if (algorithm_override != nullptr) run.algorithm(algorithm_override);
+    run.record_trace(gantt);
+    const config::RunDescription& desc = run.description();
 
-    std::printf("platform  : %s\n", run.platform.describe().c_str());
-    std::printf("workload  : %.0f units\n", run.w_total);
-    std::printf("algorithm : %s (planning error %.2f)\n", run.algorithm.c_str(),
-                run.known_error);
+    std::printf("platform  : %s\n", desc.platform.describe().c_str());
+    std::printf("workload  : %.0f units\n", desc.w_total);
+    std::printf("algorithm : %s (planning error %.2f)\n", desc.algorithm.c_str(),
+                desc.known_error);
     std::printf("simulation: error %.2f, %zu repetition(s)\n\n",
-                run.sim_options.comm_error.base.error(), run.repetitions);
+                desc.sim_options.comm_error.base.error(), desc.repetitions);
 
+    const std::vector<RunResult> results = run.execute_all();
     stats::Accumulator makespans;
-    sim::SimResult last;
-    for (std::size_t rep = 0; rep < run.repetitions; ++rep) {
-      const auto policy = config::make_policy(run);
-      sim::SimOptions options = run.sim_options;
-      options.seed = stats::mix_seed(options.seed, rep);
-      options.record_trace = gantt && rep + 1 == run.repetitions;
-      last = simulate(run.platform, *policy, options);
-      makespans.add(last.makespan);
-    }
+    for (const RunResult& r : results) makespans.add(r.makespan);
+    const RunResult& last = results.back();
 
-    if (run.repetitions == 1) {
+    if (results.size() == 1) {
       std::printf("makespan  : %.3f s\n", makespans.mean());
     } else {
       std::printf("makespan  : %.3f s mean, %.3f s sd, [%.3f, %.3f] min/max over %zu reps\n",
                   makespans.mean(), makespans.stddev(), makespans.min(), makespans.max(),
-                  run.repetitions);
+                  results.size());
     }
-    std::printf("chunks    : %zu dispatched, mean worker utilization %.1f%%\n",
-                last.chunks_dispatched, 100.0 * last.mean_worker_utilization());
+    std::printf("chunks    : %zu dispatched, mean worker utilization %.1f%%, "
+                "uplink busy %.1f%%\n",
+                last.metrics.engine.dispatches,
+                100.0 * last.metrics.engine.mean_worker_utilization,
+                100.0 * last.metrics.engine.uplink_utilization);
     if (gantt) {
-      std::printf("\n%s", last.trace.render_gantt(run.platform.size(), 96).c_str());
+      std::printf("\n%s", last.trace.render_gantt(desc.platform.size(), 96).c_str());
+    }
+    if (metrics) {
+      std::printf("\n%s\n", obs::to_json(last.metrics).c_str());
     }
     return 0;
   } catch (const std::exception& error) {

@@ -13,12 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/rumr.hpp"
-#include "core/umr.hpp"
-#include "core/umr_policy.hpp"
-#include "baselines/factoring.hpp"
-#include "sim/master_worker.hpp"
-#include "stats/summary.hpp"
+#include "api/rumr.hpp"
 
 int main() {
   using namespace rumr;

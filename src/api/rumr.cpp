@@ -1,0 +1,105 @@
+#include "api/rumr.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace rumr {
+
+Run::Run()
+    : desc_{platform::StarPlatform::homogeneous(platform::HomogeneousParams{})} {}
+
+Run Run::from_file(const std::string& path) {
+  Run run;
+  run.desc_ = config::run_from_config(config::ConfigFile::load(path));
+  return run;
+}
+
+Run& Run::platform(platform::StarPlatform p) {
+  desc_.platform = std::move(p);
+  return *this;
+}
+
+Run& Run::workload(double units) {
+  desc_.w_total = units;
+  return *this;
+}
+
+Run& Run::algorithm(std::string name) {
+  desc_.algorithm = std::move(name);
+  return *this;
+}
+
+Run& Run::known_error(double e) {
+  desc_.known_error = e;
+  return *this;
+}
+
+Run& Run::error(double e) {
+  desc_.sim_options.comm_error = stats::ErrorModel::truncated_normal(e);
+  desc_.sim_options.comp_error = stats::ErrorModel::truncated_normal(e);
+  return *this;
+}
+
+Run& Run::seed(std::uint64_t s) {
+  desc_.sim_options.seed = s;
+  return *this;
+}
+
+Run& Run::repetitions(std::size_t n) {
+  desc_.repetitions = n;
+  return *this;
+}
+
+Run& Run::record_trace(bool on) {
+  record_trace_ = on;
+  return *this;
+}
+
+Run& Run::sim_options(sim::SimOptions options) {
+  desc_.sim_options = std::move(options);
+  return *this;
+}
+
+Run& Run::audit(bool on) {
+  audit_ = on;
+  return *this;
+}
+
+RunResult Run::execute_one(std::uint64_t rep_seed, bool trace) const {
+  const std::unique_ptr<sim::SchedulerPolicy> policy = config::make_policy(desc_);
+  sim::SimOptions options = desc_.sim_options;
+  options.seed = rep_seed;
+  options.record_trace = trace;
+
+  RunResult out;
+  out.sim = simulate(desc_.platform, *policy, options);
+  out.makespan = out.sim.makespan;
+  out.metrics = out.sim.metrics;
+
+  if (audit_) {
+    check::TraceAuditOptions audit_options;
+    audit_options.work_tolerance = options.work_tolerance;
+    audit_options.uplink_channels = options.uplink_channels;
+    check::audit_sim_result(out.sim, desc_.platform, desc_.w_total, audit_options)
+        .throw_if_failed();
+  }
+
+  out.trace = std::move(out.sim.trace);
+  return out;
+}
+
+RunResult Run::execute() const {
+  return execute_one(desc_.sim_options.seed, record_trace_);
+}
+
+std::vector<RunResult> Run::execute_all() const {
+  std::vector<RunResult> results;
+  results.reserve(desc_.repetitions);
+  for (std::size_t rep = 0; rep < desc_.repetitions; ++rep) {
+    const bool trace = record_trace_ && rep + 1 == desc_.repetitions;
+    results.push_back(execute_one(stats::mix_seed(desc_.sim_options.seed, rep), trace));
+  }
+  return results;
+}
+
+}  // namespace rumr

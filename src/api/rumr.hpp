@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file rumr.hpp
+/// Single-include public API facade for the RUMR scheduling library.
+///
+/// `#include "api/rumr.hpp"` is the supported way to consume the library:
+/// it re-exports every public subsystem header (platform description, the
+/// UMR/RUMR solvers, the simulation engine's result types, observability,
+/// sweeps, reporting, invariant audits) and adds the `rumr::Run` builder —
+/// a declarative front end that turns a run description into an executed,
+/// audited result without touching engine internals.
+///
+///   rumr::RunResult r = rumr::Run()
+///                           .platform(cluster)
+///                           .workload(1000.0)
+///                           .algorithm("rumr")
+///                           .known_error(0.3)
+///                           .error(0.3)
+///                           .execute();
+///   std::printf("makespan %.2f, uplink %.0f%% busy\n", r.makespan,
+///               100.0 * r.metrics.engine.uplink_utilization);
+///
+/// Every execute() self-audits: the run's invariants (work conservation,
+/// resource serialization, the observability identities) are verified by
+/// check::audit_sim_result before the result is returned, and a violation
+/// raises check::CheckError. Disable with .audit(false) if you are
+/// deliberately constructing degenerate runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "baselines/factoring.hpp"
+#include "baselines/fsc.hpp"
+#include "baselines/loop_scheduling.hpp"
+#include "baselines/multi_installment.hpp"
+#include "baselines/static_sequence.hpp"
+#include "check/des_audit.hpp"
+#include "check/trace_audit.hpp"
+#include "config/run_description.hpp"
+#include "core/adaptive_rumr.hpp"
+#include "core/rumr.hpp"
+#include "core/umr.hpp"
+#include "core/umr_policy.hpp"
+#include "obs/metrics.hpp"
+#include "platform/platform.hpp"
+#include "report/ascii_plot.hpp"
+#include "report/csv.hpp"
+#include "report/series.hpp"
+#include "report/table.hpp"
+#include "sim/master_worker.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_json.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/scheduler_factory.hpp"
+
+namespace rumr {
+
+/// Everything one executed repetition produced.
+struct RunResult {
+  double makespan = 0.0;
+  /// DES kernel, engine, and fault-layer statistics (always collected).
+  obs::RunMetrics metrics;
+  /// Gantt/trace spans; populated only on a traced repetition.
+  sim::Trace trace;
+  /// The engine's full result record (per-worker outcomes, fault summary).
+  sim::SimResult sim;
+};
+
+/// Builder for a single described run (or a small repetition batch of one).
+///
+/// A `Run` is a thin, copyable wrapper over config::RunDescription — the same
+/// structure the configuration-file front end produces — so a run can come
+/// from fluent code (`Run().platform(...)...`) or a file
+/// (`Run::from_file("cluster.rumr")`) and execute identically.
+class Run {
+ public:
+  /// Starts from the library defaults: the paper's Table-1 homogeneous
+  /// 10-worker platform, algorithm "rumr", no prediction error, 1 repetition.
+  Run();
+
+  /// Loads a run-description file (see config/run_description.hpp for the
+  /// schema). Throws config::ConfigError on parse or validation problems.
+  [[nodiscard]] static Run from_file(const std::string& path);
+
+  // Fluent setters --------------------------------------------------------
+
+  Run& platform(platform::StarPlatform p);
+  /// Total divisible workload (units). Must be > 0 at execute() time.
+  Run& workload(double units);
+  /// Scheduling algorithm name: rumr | rumr-adaptive | umr | umr-eager |
+  /// mi-<x> | factoring | wf | gss | tss | fsc.
+  Run& algorithm(std::string name);
+  /// Prediction-error magnitude the scheduler is told to plan for.
+  Run& known_error(double e);
+  /// Actual prediction-error level driving the run (truncated-normal model
+  /// on both communication and computation, the paper's setting).
+  Run& error(double e);
+  Run& seed(std::uint64_t s);
+  Run& repetitions(std::size_t n);
+  /// Record a Gantt trace (on the last repetition when running a batch).
+  Run& record_trace(bool on = true);
+  /// Replaces the full engine option block (error processes, output model,
+  /// buffer capacity, fault injection, ...) for anything the narrow setters
+  /// do not cover.
+  Run& sim_options(sim::SimOptions options);
+  /// Self-audit every executed repetition with check::audit_sim_result
+  /// (default on; violations raise check::CheckError).
+  Run& audit(bool on = true);
+
+  /// The underlying description, for inspection or direct mutation.
+  [[nodiscard]] const config::RunDescription& description() const noexcept { return desc_; }
+  [[nodiscard]] config::RunDescription& description() noexcept { return desc_; }
+
+  // Execution --------------------------------------------------------------
+
+  /// Executes one repetition (the description's seed) and returns it.
+  /// Throws sim::SimError on invalid options or policy misbehavior and
+  /// check::CheckError on an audit violation.
+  [[nodiscard]] RunResult execute() const;
+
+  /// Executes all repetitions with per-repetition derived seeds (seed, rep)
+  /// — the same derivation the CLI and sweep front ends use — tracing only
+  /// the last repetition when record_trace is on.
+  [[nodiscard]] std::vector<RunResult> execute_all() const;
+
+ private:
+  [[nodiscard]] RunResult execute_one(std::uint64_t rep_seed, bool trace) const;
+
+  config::RunDescription desc_;
+  bool record_trace_ = false;
+  bool audit_ = true;
+};
+
+}  // namespace rumr

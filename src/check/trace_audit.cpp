@@ -122,6 +122,114 @@ void audit_trace(AuditReport& report, const sim::SimResult& result,
   }
 }
 
+/// Exact integer cross-check between two counters that must agree.
+void check_count(AuditReport& report, const char* what, std::size_t got, std::size_t want) {
+  if (got == want) return;
+  std::ostringstream out;
+  out << "metrics identity: " << what << " is " << got << ", expected " << want;
+  report.violations.push_back(out.str());
+}
+
+void check_time_identity(AuditReport& report, const char* what, double got, double want,
+                         double rel_tol) {
+  if (close(got, want, rel_tol)) return;
+  std::ostringstream out;
+  out << "metrics identity: " << what << " is " << got << ", expected " << want;
+  report.violations.push_back(out.str());
+}
+
+/// Audits the observability record against the identities the probes must
+/// satisfy by construction. A violation here means the engine's bookkeeping
+/// diverged from its own time accounting — a bug, not noise.
+void audit_metrics(AuditReport& report, const sim::SimResult& result,
+                   const TraceAuditOptions& options) {
+  const obs::RunMetrics& m = result.metrics;
+  // Identity tolerance: these are sums of exact segment lengths, so only
+  // floating-point accumulation error is admissible — far tighter than the
+  // work-conservation tolerance.
+  const double tol = std::max(options.time_tolerance, 1e-12);
+
+  check_time_identity(report, "metrics.makespan vs result.makespan", m.makespan, result.makespan,
+                      tol);
+
+  // The DES kernel conserves events: every scheduled event was either
+  // executed or cancelled by the time the queue drained.
+  check_count(report, "des events (executed + cancelled) vs scheduled",
+              m.des.events_executed + m.des.events_cancelled, m.des.events_scheduled);
+  check_count(report, "des events_executed vs result.events", m.des.events_executed,
+              result.events);
+
+  // Uplink occupancy tiles the run: busy (>= 1 channel held) + idle == makespan.
+  check_time_identity(report, "uplink busy + idle vs makespan",
+                      m.engine.uplink_busy_time + m.engine.uplink_idle_time, result.makespan,
+                      tol);
+  // With one channel, occupancy decomposes exactly into serialized transfer
+  // time plus head-of-line blocking (a held-but-not-transferring channel).
+  if (options.uplink_channels == 1) {
+    check_time_identity(report, "uplink busy vs transfer + HOL blocking",
+                        m.engine.uplink_busy_time,
+                        m.engine.uplink_transfer_time + m.engine.hol_blocking_time, tol);
+  }
+
+  // Engine counters vs the legacy result fields (same events, two ledgers).
+  check_count(report, "engine.dispatches vs chunks_dispatched", m.engine.dispatches,
+              result.chunks_dispatched);
+  check_time_identity(report, "engine.work_dispatched vs result.work_dispatched",
+                      m.engine.work_dispatched, result.work_dispatched, tol);
+  check_time_identity(report, "engine.uplink_transfer_time vs result.uplink_busy_time",
+                      m.engine.uplink_transfer_time, result.uplink_busy_time, tol);
+  check_time_identity(report, "engine.downlink_busy_time vs result.downlink_busy_time",
+                      m.engine.downlink_busy_time, result.downlink_busy_time, tol);
+  check_count(report, "chunk_sizes histogram total vs dispatches",
+              static_cast<std::size_t>(m.engine.chunk_sizes.total()), m.engine.dispatches);
+  check_count(report, "compute_durations histogram total vs completions",
+              static_cast<std::size_t>(m.engine.compute_durations.total()),
+              m.engine.completions);
+
+  // Per-worker span accounting: {compute, aborted, idle, down} partitions
+  // [0, makespan] — the probes' state machine cannot lose or invent time.
+  std::size_t span_completions = 0;
+  std::size_t span_dispatches = 0;
+  for (std::size_t w = 0; w < m.engine.workers.size(); ++w) {
+    const obs::WorkerSpans& ws = m.engine.workers[w];
+    std::ostringstream label;
+    label << "worker " << w << " compute + aborted + idle + down vs makespan";
+    check_time_identity(report, label.str().c_str(),
+                        ws.compute_time + ws.aborted_time + ws.idle_time + ws.down_time,
+                        result.makespan, tol);
+    std::ostringstream busy_label;
+    busy_label << "worker " << w << " span compute_time vs outcome busy_time";
+    check_time_identity(report, busy_label.str().c_str(), ws.compute_time,
+                        result.workers[w].busy_time, tol);
+    check_count(report,
+                ("worker " + std::to_string(w) + " span completions vs outcome chunks").c_str(),
+                ws.completions, result.workers[w].chunks);
+    span_completions += ws.completions;
+    span_dispatches += ws.dispatches;
+  }
+  check_count(report, "sum of worker dispatches vs engine.dispatches", span_dispatches,
+              m.engine.dispatches);
+  check_count(report, "sum of worker completions vs engine.completions", span_completions,
+              m.engine.completions);
+
+  // Fault ledger: the metrics record and the legacy FaultSummary are two
+  // views of the same counters.
+  const sim::FaultSummary& faults = result.faults;
+  check_count(report, "faults.failures", m.faults.failures, faults.failures);
+  check_count(report, "faults.recoveries", m.faults.recoveries, faults.recoveries);
+  check_count(report, "faults.fencings vs suspicions", m.faults.fencings, faults.suspicions);
+  check_count(report, "faults.rejoins", m.faults.rejoins, faults.rejoins);
+  check_count(report, "faults.chunks_lost", m.faults.chunks_lost, faults.chunks_lost);
+  check_count(report, "faults.chunks_redispatched", m.faults.chunks_redispatched,
+              faults.chunks_redispatched);
+  if (m.faults.false_suspicions > m.faults.fencings) {
+    std::ostringstream out;
+    out << "metrics identity: " << m.faults.false_suspicions << " false suspicions exceed "
+        << m.faults.fencings << " fencings";
+    report.violations.push_back(out.str());
+  }
+}
+
 }  // namespace
 
 AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarPlatform& platform,
@@ -187,6 +295,14 @@ AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarP
     if (w.chunks > 0 && w.busy_time > (w.last_end - w.first_start) + options.time_tolerance) {
       fail("busy time", w.busy_time, w.last_end - w.first_start);
     }
+  }
+
+  // Observability identities: audited only when the result carries a real
+  // metrics record (a hand-assembled SimResult, as tests build, has an empty
+  // one — there is nothing to cross-check).
+  if (result.metrics.engine.workers.size() == result.workers.size() &&
+      !result.metrics.engine.workers.empty()) {
+    audit_metrics(report, result, options);
   }
 
   if (!result.trace.empty()) audit_trace(report, result, platform, options);

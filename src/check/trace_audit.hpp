@@ -15,10 +15,17 @@
 ///     counters (busy times, per-worker work, chunk counts);
 ///   - under fault injection: no completed computation overlaps the worker's
 ///     outage intervals (a dead worker produces nothing), and every chunk
-///     reclaimed from a fenced worker was re-dispatched exactly once.
+///     reclaimed from a fenced worker was re-dispatched exactly once;
+///   - observability identities: uplink busy + idle time tiles the makespan,
+///     each worker's {compute, aborted, idle, down} spans partition
+///     [0, makespan], the DES kernel conserved events (scheduled == executed
+///     + cancelled), and the metrics record agrees with the legacy result
+///     counters everywhere they overlap.
 ///
 /// The span-level checks only run when the result carries a trace
-/// (SimOptions::record_trace); the aggregate checks always run.
+/// (SimOptions::record_trace); the metrics checks only when it carries a
+/// populated RunMetrics (a hand-assembled SimResult does not); the aggregate
+/// checks always run.
 
 #include <cstddef>
 

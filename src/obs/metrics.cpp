@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rumr::obs {
+
+Histogram::Histogram(std::vector<double> upper_edges) : edges_(std::move(upper_edges)) {
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (!(edges_[i] > edges_[i - 1])) {
+      throw std::invalid_argument("Histogram edges must be strictly ascending");
+    }
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+Histogram Histogram::exponential(double first_edge, double factor, std::size_t count) {
+  if (!(first_edge > 0.0) || !(factor > 1.0)) {
+    throw std::invalid_argument("Histogram::exponential needs first_edge > 0 and factor > 1");
+  }
+  std::vector<double> edges;
+  edges.reserve(count);
+  double edge = first_edge;
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return Histogram(std::move(edges));
+}
+
+void Histogram::add(double sample) noexcept {
+  if (counts_.empty()) counts_.assign(edges_.size() + 1, 0);
+  std::size_t bucket = edges_.size();  // Overflow unless an edge admits it.
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (sample <= edges_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++total_;
+  sum_ += sample;
+  if (total_ == 1 || sample < min_) min_ = sample;
+  if (total_ == 1 || sample > max_) max_ = sample;
+}
+
+namespace {
+
+/// JSON number: full precision, non-finite as null (JSON has no inf/nan).
+void json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream text;
+  text.precision(17);
+  text << v;
+  out << text.str();
+}
+
+void json_histogram(std::ostream& out, const Histogram& h) {
+  out << "{\"total\":" << h.total() << ",\"sum\":";
+  json_number(out, h.sum());
+  out << ",\"min\":";
+  json_number(out, h.min());
+  out << ",\"max\":";
+  json_number(out, h.max());
+  out << ",\"upper_edges\":[";
+  for (std::size_t i = 0; i < h.upper_edges().size(); ++i) {
+    if (i > 0) out << ',';
+    json_number(out, h.upper_edges()[i]);
+  }
+  out << "],\"counts\":[";
+  for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+    if (i > 0) out << ',';
+    out << h.bucket_counts()[i];
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string to_json(const RunMetrics& m) {
+  std::ostringstream out;
+  out << "{\"makespan\":";
+  json_number(out, m.makespan);
+
+  out << ",\"des\":{"
+      << "\"events_scheduled\":" << m.des.events_scheduled
+      << ",\"events_executed\":" << m.des.events_executed
+      << ",\"events_cancelled\":" << m.des.events_cancelled
+      << ",\"queue_depth_high_water\":" << m.des.queue_depth_high_water
+      << ",\"wall_seconds\":";
+  json_number(out, m.des.wall_seconds);
+  out << ",\"events_per_second\":";
+  json_number(out, m.des.events_per_second);
+  out << "}";
+
+  out << ",\"engine\":{"
+      << "\"uplink_busy_time\":";
+  json_number(out, m.engine.uplink_busy_time);
+  out << ",\"uplink_idle_time\":";
+  json_number(out, m.engine.uplink_idle_time);
+  out << ",\"uplink_utilization\":";
+  json_number(out, m.engine.uplink_utilization);
+  out << ",\"uplink_transfer_time\":";
+  json_number(out, m.engine.uplink_transfer_time);
+  out << ",\"downlink_busy_time\":";
+  json_number(out, m.engine.downlink_busy_time);
+  out << ",\"hol_blocking_time\":";
+  json_number(out, m.engine.hol_blocking_time);
+  out << ",\"dispatches\":" << m.engine.dispatches
+      << ",\"completions\":" << m.engine.completions
+      << ",\"redispatches\":" << m.engine.redispatches << ",\"work_dispatched\":";
+  json_number(out, m.engine.work_dispatched);
+  out << ",\"work_redispatched\":";
+  json_number(out, m.engine.work_redispatched);
+  out << ",\"mean_worker_utilization\":";
+  json_number(out, m.engine.mean_worker_utilization);
+  out << ",\"chunk_sizes\":";
+  json_histogram(out, m.engine.chunk_sizes);
+  out << ",\"compute_durations\":";
+  json_histogram(out, m.engine.compute_durations);
+  out << ",\"workers\":[";
+  for (std::size_t w = 0; w < m.engine.workers.size(); ++w) {
+    const WorkerSpans& ws = m.engine.workers[w];
+    if (w > 0) out << ',';
+    out << "{\"compute_time\":";
+    json_number(out, ws.compute_time);
+    out << ",\"aborted_time\":";
+    json_number(out, ws.aborted_time);
+    out << ",\"idle_time\":";
+    json_number(out, ws.idle_time);
+    out << ",\"down_time\":";
+    json_number(out, ws.down_time);
+    out << ",\"receive_time\":";
+    json_number(out, ws.receive_time);
+    out << ",\"dispatches\":" << ws.dispatches << ",\"completions\":" << ws.completions << "}";
+  }
+  out << "]}";
+
+  out << ",\"faults\":{"
+      << "\"failures\":" << m.faults.failures << ",\"recoveries\":" << m.faults.recoveries
+      << ",\"fencings\":" << m.faults.fencings
+      << ",\"false_suspicions\":" << m.faults.false_suspicions
+      << ",\"backoff_retries\":" << m.faults.backoff_retries
+      << ",\"rejoins\":" << m.faults.rejoins << ",\"chunks_lost\":" << m.faults.chunks_lost
+      << ",\"chunks_redispatched\":" << m.faults.chunks_redispatched << "}}";
+  return out.str();
+}
+
+namespace {
+
+void csv_row(std::ostream& out, const std::string& metric, double value) {
+  out << metric << ',';
+  std::ostringstream text;
+  text.precision(17);
+  text << value;
+  out << text.str() << '\n';
+}
+
+void csv_row(std::ostream& out, const std::string& metric, std::uint64_t value) {
+  out << metric << ',' << value << '\n';
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const RunMetrics& m) {
+  out << "metric,value\n";
+  csv_row(out, "makespan", m.makespan);
+  csv_row(out, "des.events_scheduled", static_cast<std::uint64_t>(m.des.events_scheduled));
+  csv_row(out, "des.events_executed", static_cast<std::uint64_t>(m.des.events_executed));
+  csv_row(out, "des.events_cancelled", static_cast<std::uint64_t>(m.des.events_cancelled));
+  csv_row(out, "des.queue_depth_high_water",
+          static_cast<std::uint64_t>(m.des.queue_depth_high_water));
+  csv_row(out, "des.wall_seconds", m.des.wall_seconds);
+  csv_row(out, "des.events_per_second", m.des.events_per_second);
+  csv_row(out, "engine.uplink_busy_time", m.engine.uplink_busy_time);
+  csv_row(out, "engine.uplink_idle_time", m.engine.uplink_idle_time);
+  csv_row(out, "engine.uplink_utilization", m.engine.uplink_utilization);
+  csv_row(out, "engine.uplink_transfer_time", m.engine.uplink_transfer_time);
+  csv_row(out, "engine.downlink_busy_time", m.engine.downlink_busy_time);
+  csv_row(out, "engine.hol_blocking_time", m.engine.hol_blocking_time);
+  csv_row(out, "engine.dispatches", static_cast<std::uint64_t>(m.engine.dispatches));
+  csv_row(out, "engine.completions", static_cast<std::uint64_t>(m.engine.completions));
+  csv_row(out, "engine.redispatches", static_cast<std::uint64_t>(m.engine.redispatches));
+  csv_row(out, "engine.work_dispatched", m.engine.work_dispatched);
+  csv_row(out, "engine.work_redispatched", m.engine.work_redispatched);
+  csv_row(out, "engine.mean_worker_utilization", m.engine.mean_worker_utilization);
+  for (std::size_t w = 0; w < m.engine.workers.size(); ++w) {
+    const WorkerSpans& ws = m.engine.workers[w];
+    const std::string prefix = "worker" + std::to_string(w) + '.';
+    csv_row(out, prefix + "compute_time", ws.compute_time);
+    csv_row(out, prefix + "aborted_time", ws.aborted_time);
+    csv_row(out, prefix + "idle_time", ws.idle_time);
+    csv_row(out, prefix + "down_time", ws.down_time);
+    csv_row(out, prefix + "receive_time", ws.receive_time);
+    csv_row(out, prefix + "dispatches", static_cast<std::uint64_t>(ws.dispatches));
+    csv_row(out, prefix + "completions", static_cast<std::uint64_t>(ws.completions));
+  }
+  csv_row(out, "faults.failures", static_cast<std::uint64_t>(m.faults.failures));
+  csv_row(out, "faults.recoveries", static_cast<std::uint64_t>(m.faults.recoveries));
+  csv_row(out, "faults.fencings", static_cast<std::uint64_t>(m.faults.fencings));
+  csv_row(out, "faults.false_suspicions",
+          static_cast<std::uint64_t>(m.faults.false_suspicions));
+  csv_row(out, "faults.backoff_retries", static_cast<std::uint64_t>(m.faults.backoff_retries));
+  csv_row(out, "faults.rejoins", static_cast<std::uint64_t>(m.faults.rejoins));
+  csv_row(out, "faults.chunks_lost", static_cast<std::uint64_t>(m.faults.chunks_lost));
+  csv_row(out, "faults.chunks_redispatched",
+          static_cast<std::uint64_t>(m.faults.chunks_redispatched));
+}
+
+std::string to_csv(const RunMetrics& m) {
+  std::ostringstream out;
+  write_csv(out, m);
+  return out.str();
+}
+
+}  // namespace rumr::obs

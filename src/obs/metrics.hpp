@@ -1,0 +1,182 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Observability primitives and the per-run metrics record.
+///
+/// Every simulated run produces a RunMetrics: DES kernel statistics (event
+/// throughput, queue depth), engine statistics (where uplink and worker time
+/// went), and fault-layer statistics. Collection is always on — it adds zero
+/// RNG draws and O(1) work per event, so instrumented runs are byte-identical
+/// to uninstrumented ones (the determinism harness enforces this).
+///
+/// The primitives are deliberately minimal:
+///
+///   Counter    monotonically increasing event count
+///   Gauge      last-value-wins sample with a high-water mark
+///   Histogram  fixed-bucket distribution (bucket edges chosen up front, so
+///              recording is O(#buckets) worst case and allocation-free)
+///
+/// The identities the numbers must satisfy (uplink busy + idle == makespan;
+/// per-worker compute + aborted + idle + down == makespan) are audited by
+/// check::audit_sim_result, so a bookkeeping bug here is caught, not trusted.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rumr::obs {
+
+/// Monotonically increasing count of occurrences.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) noexcept { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-observed value plus the largest value ever observed.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (v > high_water_) high_water_ = v;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double high_water() const noexcept { return high_water_; }
+
+ private:
+  double value_ = 0.0;
+  double high_water_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples in (edge[i-1], edge[i]];
+/// samples above the last edge land in the overflow bucket. Edges are fixed
+/// at construction, so add() never allocates.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Buckets with the given ascending upper edges (plus an overflow bucket).
+  explicit Histogram(std::vector<double> upper_edges);
+
+  /// `count` buckets whose upper edges grow geometrically from `first_edge`
+  /// by `factor` (e.g. 1, 2, 4, 8, ... for factor 2).
+  [[nodiscard]] static Histogram exponential(double first_edge, double factor,
+                                             std::size_t count);
+
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return total_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return total_ > 0 ? max_ : 0.0; }
+
+  /// Upper edges (size == bucket_counts().size() - 1; the final bucket is
+  /// the overflow bucket, unbounded above).
+  [[nodiscard]] const std::vector<double>& upper_edges() const noexcept { return edges_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// DES kernel statistics for one run.
+struct DesStats {
+  std::size_t events_scheduled = 0;
+  std::size_t events_executed = 0;
+  std::size_t events_cancelled = 0;
+  /// Largest number of simultaneously pending (scheduled, not yet executed or
+  /// cancelled) events.
+  std::size_t queue_depth_high_water = 0;
+  /// Wall-clock seconds the event loop ran (real time, not simulated).
+  double wall_seconds = 0.0;
+  /// events_executed / wall_seconds (0 when the run was too fast to time).
+  double events_per_second = 0.0;
+};
+
+/// Where one worker's time went, partitioned over [0, makespan]:
+/// compute + aborted + idle + down == makespan (audited identity).
+struct WorkerSpans {
+  double compute_time = 0.0;  ///< Completed computations.
+  double aborted_time = 0.0;  ///< Computations cut short (failure or fence).
+  double idle_time = 0.0;     ///< Up, reachable, not computing.
+  double down_time = 0.0;     ///< Ground-truth outage intervals.
+  double receive_time = 0.0;  ///< Receiving chunks (overlaps compute; not in the identity).
+  std::size_t dispatches = 0;   ///< Chunks sent toward this worker.
+  std::size_t completions = 0;  ///< Chunks it reported complete.
+};
+
+/// Master/engine statistics for one run.
+struct EngineStats {
+  /// Occupancy accounting for the master uplink: busy counts time when at
+  /// least one channel carries a serialized transfer or holds a blocked
+  /// (rendezvous) send; idle is the complement. busy + idle == makespan.
+  double uplink_busy_time = 0.0;
+  double uplink_idle_time = 0.0;
+  /// uplink_busy_time / makespan (0 for a zero-length run).
+  double uplink_utilization = 0.0;
+  /// Sum of serialized transfer durations (the classic per-transfer total;
+  /// can exceed makespan when uplink_channels > 1).
+  double uplink_transfer_time = 0.0;
+  double downlink_busy_time = 0.0;
+  /// Time a blocked rendezvous send held an uplink channel while its target
+  /// worker had no free buffer slot (head-of-line blocking).
+  double hol_blocking_time = 0.0;
+  std::size_t dispatches = 0;
+  std::size_t completions = 0;
+  std::size_t redispatches = 0;
+  double work_dispatched = 0.0;
+  double work_redispatched = 0.0;
+  /// Mean over workers of compute_time / makespan.
+  double mean_worker_utilization = 0.0;
+  std::vector<WorkerSpans> workers;
+  Histogram chunk_sizes;        ///< Dispatched chunk sizes (workload units).
+  Histogram compute_durations;  ///< Actual (perturbed) computation durations.
+};
+
+/// Fault-layer statistics for one run (all zero when faults are disabled).
+struct FaultStats {
+  std::size_t failures = 0;          ///< Ground-truth down transitions.
+  std::size_t recoveries = 0;        ///< Ground-truth up transitions.
+  std::size_t fencings = 0;          ///< Completion-timeouts fired.
+  std::size_t false_suspicions = 0;  ///< Fencings of a worker that was actually up.
+  std::size_t backoff_retries = 0;   ///< Rejoin attempts scheduled after a fence.
+  std::size_t rejoins = 0;           ///< Fenced workers re-admitted.
+  std::size_t chunks_lost = 0;
+  std::size_t chunks_redispatched = 0;
+};
+
+/// The full per-run metrics record carried on sim::SimResult.
+struct RunMetrics {
+  double makespan = 0.0;
+  DesStats des;
+  EngineStats engine;
+  FaultStats faults;
+};
+
+/// Serializes a RunMetrics as a single JSON object (stable key order, full
+/// precision, non-finite values as null — valid JSON always).
+[[nodiscard]] std::string to_json(const RunMetrics& metrics);
+
+/// Writes a RunMetrics as long-form `metric,value` CSV rows with a header.
+/// Per-worker metrics are emitted as `worker<i>.<metric>`.
+void write_csv(std::ostream& out, const RunMetrics& metrics);
+
+/// Same, to a string.
+[[nodiscard]] std::string to_csv(const RunMetrics& metrics);
+
+}  // namespace rumr::obs

@@ -1,0 +1,86 @@
+#include "obs/probe.hpp"
+
+namespace rumr::obs {
+
+EngineProbe::EngineProbe(std::size_t num_workers)
+    : spans_(num_workers),
+      state_(num_workers, State::kIdle),
+      state_since_(num_workers, 0.0) {}
+
+void EngineProbe::uplink_channels(std::size_t busy_channels, double now) {
+  if (busy_channels_ > 0) {
+    uplink_busy_ += now - uplink_since_;
+  } else {
+    uplink_idle_ += now - uplink_since_;
+  }
+  uplink_since_ = now;
+  busy_channels_ = busy_channels;
+}
+
+void EngineProbe::block_begin(double now) {
+  blocked_ = true;
+  block_since_ = now;
+}
+
+void EngineProbe::block_end(double now) {
+  if (!blocked_) return;
+  blocked_ = false;
+  hol_blocking_ += now - block_since_;
+}
+
+void EngineProbe::settle(std::size_t w, double now) {
+  const double elapsed = now - state_since_[w];
+  switch (state_[w]) {
+    case State::kIdle:
+      spans_[w].idle_time += elapsed;
+      break;
+    case State::kComputing:
+      // A computing segment settled by anything other than compute_end was
+      // cut short: the partial result is lost.
+      spans_[w].aborted_time += elapsed;
+      break;
+    case State::kDown:
+      spans_[w].down_time += elapsed;
+      break;
+  }
+  state_since_[w] = now;
+}
+
+void EngineProbe::compute_begin(std::size_t w, double now) {
+  settle(w, now);
+  state_[w] = State::kComputing;
+}
+
+void EngineProbe::compute_end(std::size_t w, double now) {
+  spans_[w].compute_time += now - state_since_[w];
+  state_since_[w] = now;
+  state_[w] = State::kIdle;
+}
+
+void EngineProbe::compute_abort(std::size_t w, double now) {
+  if (state_[w] != State::kComputing) return;
+  settle(w, now);  // Computing segment -> aborted bucket.
+  state_[w] = State::kIdle;
+}
+
+void EngineProbe::worker_down(std::size_t w, double now) {
+  settle(w, now);
+  state_[w] = State::kDown;
+}
+
+void EngineProbe::worker_up(std::size_t w, double now) {
+  settle(w, now);
+  state_[w] = State::kIdle;
+}
+
+std::vector<WorkerSpans> EngineProbe::finish(double end) {
+  if (!finished_) {
+    finished_ = true;
+    uplink_channels(busy_channels_, end);  // Close the open uplink segment.
+    if (blocked_) block_end(end);
+    for (std::size_t w = 0; w < spans_.size(); ++w) settle(w, end);
+  }
+  return spans_;
+}
+
+}  // namespace rumr::obs

@@ -38,6 +38,12 @@ std::string render_plot(const SeriesSet& set, const PlotOptions& options) {
   const double x_hi = set.max_x();
   double y_lo = std::isnan(options.y_min) ? set.min_y() : options.y_min;
   double y_hi = std::isnan(options.y_max) ? set.max_y() : options.y_max;
+  // min/max skip non-finite points, so an all-NaN/inf set leaves the ranges
+  // at ±infinity — there is nothing finite to draw.
+  if (!std::isfinite(x_lo) || !std::isfinite(x_hi) || !std::isfinite(y_lo) ||
+      !std::isfinite(y_hi)) {
+    return "(no data)\n";
+  }
   if (std::isnan(options.y_min) || std::isnan(options.y_max)) {
     const double margin = 0.05 * std::max(1e-12, y_hi - y_lo);
     if (std::isnan(options.y_min)) y_lo -= margin;
@@ -45,19 +51,26 @@ std::string render_plot(const SeriesSet& set, const PlotOptions& options) {
   }
   if (y_hi <= y_lo) y_hi = y_lo + 1.0;
   const double x_span = x_hi > x_lo ? x_hi - x_lo : 1.0;
+  // width/height of 1 leave zero sampling intervals; clamp the divisors so a
+  // single-column/-row plot degenerates to the low end of the range instead
+  // of dividing by zero.
+  const double col_span = options.width > 1 ? static_cast<double>(options.width - 1) : 1.0;
+  const double row_span = options.height > 1 ? static_cast<double>(options.height - 1) : 1.0;
 
   std::vector<std::string> grid(options.height, std::string(options.width, ' '));
   const auto row_of = [&](double y) -> std::ptrdiff_t {
     const double t = (y - y_lo) / (y_hi - y_lo);
-    return static_cast<std::ptrdiff_t>(std::lround((1.0 - t) * static_cast<double>(options.height - 1)));
+    return static_cast<std::ptrdiff_t>(std::lround((1.0 - t) * row_span));
   };
 
   for (std::size_t s = 0; s < set.series.size(); ++s) {
     const char glyph = kGlyphs[s % 8];
     for (std::size_t c = 0; c < options.width; ++c) {
-      const double x = x_lo + x_span * static_cast<double>(c) / static_cast<double>(options.width - 1);
+      const double x = x_lo + x_span * static_cast<double>(c) / col_span;
       const double y = sample_series(set.series[s], x);
-      if (std::isnan(y)) continue;
+      // Non-finite samples (a NaN data point, or interpolation through one)
+      // leave the column blank; lround on them is undefined.
+      if (!std::isfinite(y)) continue;
       const std::ptrdiff_t r = row_of(y);
       if (r >= 0 && r < static_cast<std::ptrdiff_t>(options.height)) {
         grid[static_cast<std::size_t>(r)][c] = glyph;
@@ -68,7 +81,7 @@ std::string render_plot(const SeriesSet& set, const PlotOptions& options) {
   std::ostringstream out;
   if (!set.title.empty()) out << set.title << '\n';
   const auto y_label = [&](std::size_t row) {
-    const double t = 1.0 - static_cast<double>(row) / static_cast<double>(options.height - 1);
+    const double t = 1.0 - static_cast<double>(row) / row_span;
     std::ostringstream label;
     label << std::setw(8) << std::fixed << std::setprecision(2) << (y_lo + t * (y_hi - y_lo));
     return label.str();

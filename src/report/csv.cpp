@@ -1,9 +1,28 @@
 #include "report/csv.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 namespace rumr::report {
+
+namespace {
+
+/// Stable spelling for every double: the default operator<< prints
+/// platform-dependent variants ("nan", "-nan(ind)") for non-finite values.
+void csv_number(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "nan";
+    return;
+  }
+  if (std::isinf(v)) {
+    out << (v > 0.0 ? "inf" : "-inf");
+    return;
+  }
+  out << v;
+}
+
+}  // namespace
 
 std::string csv_escape(const std::string& field) {
   if (field.find_first_of(",\"\n") == std::string::npos) return field;
@@ -21,7 +40,11 @@ void write_csv(std::ostream& out, const SeriesSet& set) {
       << csv_escape(set.y_label.empty() ? "y" : set.y_label) << '\n';
   for (const Series& s : set.series) {
     for (std::size_t i = 0; i < s.size(); ++i) {
-      out << csv_escape(s.name) << ',' << s.x[i] << ',' << s.y[i] << '\n';
+      out << csv_escape(s.name) << ',';
+      csv_number(out, s.x[i]);
+      out << ',';
+      csv_number(out, s.y[i]);
+      out << '\n';
     }
   }
 }

@@ -1,6 +1,7 @@
 #include "report/series.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace rumr::report {
@@ -18,7 +19,15 @@ template <typename Select, typename Reduce>
 double fold(const SeriesSet& set, Select select, Reduce reduce, double init) {
   double acc = init;
   for (const Series& s : set.series) {
-    for (std::size_t i = 0; i < s.size(); ++i) acc = reduce(acc, select(s, i));
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const double v = select(s, i);
+      // NaN/inf points must not poison the range: they are skipped when
+      // plotting, so they are skipped when ranging too. A set with no finite
+      // point at all returns `init` (±inf), which render_plot treats as
+      // "(no data)".
+      if (!std::isfinite(v)) continue;
+      acc = reduce(acc, v);
+    }
   }
   return acc;
 }

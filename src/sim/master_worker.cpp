@@ -1,6 +1,7 @@
 #include "sim/master_worker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "check/check.hpp"
 #include "des/simulator.hpp"
+#include "obs/probe.hpp"
 #include "stats/rng.hpp"
 
 namespace rumr::sim {
@@ -18,6 +20,32 @@ double SimResult::mean_worker_utilization() const {
   double total = 0.0;
   for (const WorkerOutcome& w : workers) total += w.busy_time / makespan;
   return total / static_cast<double>(workers.size());
+}
+
+std::vector<std::string> SimOptions::validate() const {
+  std::vector<std::string> errors;
+  if (worker_buffer_capacity == 0) {
+    errors.emplace_back(
+        "worker_buffer_capacity must be >= 1 (1 models the double-buffered "
+        "front-end; SIZE_MAX disables blocking)");
+  }
+  if (uplink_channels == 0) errors.emplace_back("uplink_channels must be >= 1");
+  if (output_ratio < 0.0 || !std::isfinite(output_ratio)) {
+    errors.emplace_back("output_ratio must be non-negative and finite");
+  }
+  if (!(work_tolerance > 0.0) || !std::isfinite(work_tolerance)) {
+    errors.emplace_back("work_tolerance must be positive and finite");
+  }
+  if (faults.enabled()) {
+    if (!(fault_tolerance.timeout_slack > 1.0) || !std::isfinite(fault_tolerance.timeout_slack)) {
+      errors.emplace_back("fault_tolerance.timeout_slack must be > 1 and finite");
+    }
+    if (!(fault_tolerance.backoff_base >= 0.0) || !(fault_tolerance.backoff_factor >= 1.0) ||
+        !(fault_tolerance.backoff_max >= 0.0)) {
+      errors.emplace_back("fault_tolerance backoff parameters are malformed");
+    }
+  }
+  return errors;
 }
 
 namespace {
@@ -81,25 +109,17 @@ class Engine final : public MasterContext {
         blacklist_until_(platform.size(), 0.0),
         suspicions_(platform.size(), 0),
         lease_epoch_(platform.size(), 0),
-        dispatch_records_(platform.size()) {
-    if (options.worker_buffer_capacity == 0) {
-      throw SimError("worker_buffer_capacity must be >= 1 (1 models the double-buffered "
-                     "front-end; SIZE_MAX disables blocking)");
+        dispatch_records_(platform.size()),
+        probe_(platform.size()),
+        chunk_hist_(obs::Histogram::exponential(kChunkHistFirstEdge, 2.0, kHistBuckets)),
+        comp_hist_(obs::Histogram::exponential(kCompHistFirstEdge, 2.0, kHistBuckets)) {
+    if (const std::vector<std::string> errors = options.validate(); !errors.empty()) {
+      std::string joined = "invalid SimOptions:";
+      for (const std::string& e : errors) joined += "\n  - " + e;
+      throw SimError(joined);
     }
-    if (options.uplink_channels == 0) {
-      throw SimError("uplink_channels must be >= 1");
-    }
-    if (options.output_ratio < 0.0 || !std::isfinite(options.output_ratio)) {
-      throw SimError("output_ratio must be non-negative and finite");
-    }
+    sim_.set_observer(&des_probe_);
     if (faults_on_) {
-      const auto& ft = options.fault_tolerance;
-      if (!(ft.timeout_slack > 1.0) || !std::isfinite(ft.timeout_slack)) {
-        throw SimError("fault_tolerance.timeout_slack must be > 1 and finite");
-      }
-      if (!(ft.backoff_base >= 0.0) || !(ft.backoff_factor >= 1.0) || !(ft.backoff_max >= 0.0)) {
-        throw SimError("fault_tolerance backoff parameters are malformed");
-      }
       // Throws std::invalid_argument on a malformed FaultSpec.
       timeline_ = faults::FaultTimeline(options.faults, platform.size(), options.seed);
     }
@@ -117,12 +137,15 @@ class Engine final : public MasterContext {
   }
 
   SimResult run() {
+    const auto wall_start = std::chrono::steady_clock::now();
     if (faults_on_) {
       for (std::size_t w = 0; w < platform_.size(); ++w) schedule_ground_fault(w, 0.0);
     }
     try_dispatch();
     if (faults_on_) maybe_finish();  // Zero-work edge: nothing was ever pending.
     sim_.run();
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
     finalize_checks();
 
     // Close the Gantt row of workers that never recovered: their outage
@@ -145,6 +168,8 @@ class Engine final : public MasterContext {
     result.events = sim_.events_processed();
     result.workers = outcomes_;
     result.faults = fstats_;
+    result.metrics = collect_metrics(wall_seconds);
+    result.metrics.engine.mean_worker_utilization = result.mean_worker_utilization();
     result.trace = std::move(trace_);
     return result;
   }
@@ -154,6 +179,48 @@ class Engine final : public MasterContext {
   /// computing, plus chunks in flight toward it.
   [[nodiscard]] std::size_t committed_slots(std::size_t w) const {
     return queues_[w].size() + in_flight_[w];
+  }
+
+  /// Packages the probes' accounting into the RunMetrics record. Closes the
+  /// probes at the makespan and moves the histograms out — call once, at the
+  /// end of run().
+  [[nodiscard]] obs::RunMetrics collect_metrics(double wall_seconds) {
+    obs::RunMetrics m;
+    m.makespan = makespan_;
+
+    m.des.events_scheduled = sim_.events_scheduled();
+    m.des.events_executed = sim_.events_processed();
+    m.des.events_cancelled = sim_.events_cancelled();
+    m.des.queue_depth_high_water = des_probe_.queue_depth_high_water();
+    m.des.wall_seconds = wall_seconds;
+    m.des.events_per_second =
+        wall_seconds > 0.0 ? static_cast<double>(sim_.events_processed()) / wall_seconds : 0.0;
+
+    m.engine.workers = probe_.finish(makespan_);
+    m.engine.uplink_busy_time = probe_.uplink_busy_time();
+    m.engine.uplink_idle_time = probe_.uplink_idle_time();
+    m.engine.uplink_utilization =
+        makespan_ > 0.0 ? probe_.uplink_busy_time() / makespan_ : 0.0;
+    m.engine.uplink_transfer_time = uplink_busy_time_;
+    m.engine.downlink_busy_time = downlink_busy_time_;
+    m.engine.hol_blocking_time = probe_.hol_blocking_time();
+    m.engine.dispatches = chunks_dispatched_;
+    for (const obs::WorkerSpans& ws : m.engine.workers) m.engine.completions += ws.completions;
+    m.engine.redispatches = fstats_.chunks_redispatched;
+    m.engine.work_dispatched = work_dispatched_;
+    m.engine.work_redispatched = fstats_.work_redispatched;
+    m.engine.chunk_sizes = std::move(chunk_hist_);
+    m.engine.compute_durations = std::move(comp_hist_);
+
+    m.faults.failures = fstats_.failures;
+    m.faults.recoveries = fstats_.recoveries;
+    m.faults.fencings = fstats_.suspicions;
+    m.faults.false_suspicions = false_suspicions_;
+    m.faults.backoff_retries = backoff_retries_;
+    m.faults.rejoins = fstats_.rejoins;
+    m.faults.chunks_lost = fstats_.chunks_lost;
+    m.faults.chunks_redispatched = fstats_.chunks_redispatched;
+    return m;
   }
 
   // Fault layer ------------------------------------------------------------
@@ -185,6 +252,7 @@ class Engine final : public MasterContext {
     ++fstats_.failures;
     queues_[w].clear();
     abort_compute(w);
+    probe_.worker_down(w, sim_.now());
     if (!o.permanent()) {
       fault_event_[w] = sim_.schedule_at(o.up, [this, w] {
         fault_event_[w] = 0;
@@ -199,6 +267,7 @@ class Engine final : public MasterContext {
   void ground_up(std::size_t w) {
     ground_alive_[w] = true;
     ++fstats_.recoveries;
+    probe_.worker_up(w, sim_.now());
     if (options_.record_trace) {
       trace_.add({SpanKind::kDown, w, 0.0, down_since_[w], sim_.now()});
     }
@@ -211,6 +280,7 @@ class Engine final : public MasterContext {
   void abort_compute(std::size_t w) {
     if (!computing_[w]) return;
     computing_[w] = false;
+    probe_.compute_abort(w, sim_.now());
     sim_.cancel(compute_event_[w]);
     compute_event_[w] = 0;
     if (options_.record_trace && compute_span_[w] != kNoSpan) {
@@ -223,6 +293,7 @@ class Engine final : public MasterContext {
   /// window. Deduplicated: at most one rejoin event per worker.
   void schedule_rejoin(std::size_t w) {
     if (rejoin_event_[w] != 0) return;
+    ++backoff_retries_;
     const des::SimTime at = std::max(sim_.now(), blacklist_until_[w]);
     rejoin_event_[w] = sim_.schedule_at(at, [this, w] {
       rejoin_event_[w] = 0;
@@ -303,9 +374,16 @@ class Engine final : public MasterContext {
       pending_send_.reset();
       RUMR_CHECK(busy_channels_ > 0, "blocked send reclaimed with no channel held");
       --busy_channels_;
+      probe_.uplink_channels(busy_channels_, sim_.now());
+      probe_.block_end(sim_.now());
     }
 
-    if (ground_alive_[w]) schedule_rejoin(w);  // False positive: it can re-ping.
+    if (ground_alive_[w]) {
+      // False positive: the worker is actually up (prediction-error artifact)
+      // and can re-ping after its backoff.
+      ++false_suspicions_;
+      schedule_rejoin(w);
+    }
     policy_.on_worker_down(*this, w);
     try_dispatch();
   }
@@ -370,6 +448,8 @@ class Engine final : public MasterContext {
         // the worker frees a buffer slot.
         pending_send_ = *next;
         ++busy_channels_;
+        probe_.uplink_channels(busy_channels_, sim_.now());
+        probe_.block_begin(sim_.now());
         return;
       }
       begin_send(*next);
@@ -406,6 +486,9 @@ class Engine final : public MasterContext {
 
     ++busy_channels_;
     RUMR_CHECK(busy_channels_ <= options_.uplink_channels, "uplink channel overcommitted");
+    probe_.uplink_channels(busy_channels_, t0);
+    probe_.chunk_dispatched(w);
+    chunk_hist_.add(chunk);
     uplink_busy_time_ += actual_serial;
     ++chunks_dispatched_;
     work_dispatched_ += chunk;
@@ -437,10 +520,12 @@ class Engine final : public MasterContext {
     sim_.schedule_at(uplink_free, [this] {
       RUMR_CHECK(busy_channels_ > 0, "uplink released while no transfer was in progress");
       --busy_channels_;
+      probe_.uplink_channels(busy_channels_, sim_.now());
       try_dispatch();
     });
     const std::size_t epoch = faults_on_ ? lease_epoch_[w] : 0;
-    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp, epoch, lease] {
+    const double recv_duration = actual_serial + actual_tail;
+    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp, epoch, lease, recv_duration] {
       RUMR_CHECK(in_flight_[w] > 0, "chunk arrived at a worker with nothing in flight");
       --in_flight_[w];
       if (faults_on_ && (epoch != lease_epoch_[w] || !ground_alive_[w])) {
@@ -450,6 +535,7 @@ class Engine final : public MasterContext {
         if (!redispatch_queue_.empty()) try_dispatch();
         return;
       }
+      probe_.chunk_received(w, recv_duration);
       queues_[w].push_back({chunk, predicted_comp, lease});
       maybe_start_compute(w);
     });
@@ -461,6 +547,7 @@ class Engine final : public MasterContext {
     const QueuedChunk next = queues_[w].front();
     queues_[w].pop_front();
     computing_[w] = true;
+    probe_.compute_begin(w, sim_.now());
 
     // Popping freed a buffer slot; a blocked send waiting on this worker can
     // proceed now (its transfer time starts here, after the wait). Release
@@ -470,6 +557,8 @@ class Engine final : public MasterContext {
       const Dispatch unblocked = *pending_send_;
       pending_send_.reset();
       --busy_channels_;
+      probe_.uplink_channels(busy_channels_, sim_.now());
+      probe_.block_end(sim_.now());
       begin_send(unblocked);
     }
 
@@ -516,6 +605,10 @@ class Engine final : public MasterContext {
       }
       arm_timeout(w);
     }
+
+    probe_.compute_end(w, t1);
+    probe_.chunk_completed(w);
+    comp_hist_.add(actual_comp);
 
     WorkerOutcome& out = outcomes_[w];
     out.work += done.chunk;
@@ -714,6 +807,18 @@ class Engine final : public MasterContext {
   std::deque<RedispatchItem> redispatch_queue_;
   FaultSummary fstats_;
   bool work_all_done_ = false;
+
+  // Observability (always on: zero RNG draws, O(1) per transition, so
+  // instrumented runs stay byte-identical to uninstrumented ones).
+  static constexpr double kChunkHistFirstEdge = 0.25;  ///< Workload units.
+  static constexpr double kCompHistFirstEdge = 0.01;   ///< Simulated seconds.
+  static constexpr std::size_t kHistBuckets = 16;
+  obs::DesProbe des_probe_;
+  obs::EngineProbe probe_;
+  obs::Histogram chunk_hist_;
+  obs::Histogram comp_hist_;
+  std::size_t false_suspicions_ = 0;  ///< Fencings of actually-alive workers.
+  std::size_t backoff_retries_ = 0;   ///< Blacklist-backoff waits armed.
 };
 
 }  // namespace

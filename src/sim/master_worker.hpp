@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "faults/fault_model.hpp"
+#include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "sim/policy.hpp"
 #include "sim/trace.hpp"
@@ -103,6 +105,13 @@ struct SimOptions {
     o.seed = seed;
     return o;
   }
+
+  /// Validates every option in one pass and returns the full list of
+  /// human-readable problems (empty means the options are usable). simulate()
+  /// calls this once at run start and raises SimError with all of them — no
+  /// scattered ad-hoc throws, and a caller can pre-flight options without
+  /// paying for a run.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 /// Per-worker outcome statistics.
@@ -138,6 +147,11 @@ struct SimResult {
   std::size_t events = 0;             ///< DES events executed.
   std::vector<WorkerOutcome> workers;
   FaultSummary faults;                ///< Fault-layer counters (zero when disabled).
+  /// Always-on observability record: DES kernel stats, uplink/worker time
+  /// accounting, fault counters. Collection adds zero RNG draws and O(1)
+  /// work per event; check::audit_sim_result verifies its identities
+  /// (uplink busy + idle == makespan; per-worker spans tile the run).
+  obs::RunMetrics metrics;
   Trace trace;                        ///< Populated iff record_trace.
 
   /// Mean worker utilization: busy time / makespan, averaged over workers.

@@ -3,11 +3,37 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/trace_audit.hpp"
 #include "sim/master_worker.hpp"
 #include "stats/rng.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace rumr::sweep {
+
+std::vector<std::string> SweepOptions::validate() const {
+  std::vector<std::string> problems;
+  if (errors.empty()) problems.emplace_back("errors axis is empty — nothing to sweep");
+  for (double e : errors) {
+    if (!std::isfinite(e) || e < 0.0) {
+      problems.emplace_back("errors axis contains a negative or non-finite level");
+      break;
+    }
+  }
+  if (repetitions == 0) problems.emplace_back("repetitions must be >= 1");
+  if (!(w_total > 0.0) || !std::isfinite(w_total)) {
+    problems.emplace_back("w_total must be positive and finite");
+  }
+  if (faults.enabled()) {
+    if (!(fault_tolerance.timeout_slack > 1.0) || !std::isfinite(fault_tolerance.timeout_slack)) {
+      problems.emplace_back("fault_tolerance.timeout_slack must be > 1 and finite");
+    }
+    if (!(fault_tolerance.backoff_base >= 0.0) || !(fault_tolerance.backoff_factor >= 1.0) ||
+        !(fault_tolerance.backoff_max >= 0.0)) {
+      problems.emplace_back("fault_tolerance backoff parameters are malformed");
+    }
+  }
+  return problems;
+}
 
 namespace {
 
@@ -106,6 +132,11 @@ double SweepResult::per_rep_win_percentage(std::size_t band, std::size_t algo,
 SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
                       const std::vector<AlgorithmSpec>& algorithms, const SweepOptions& options) {
   if (algorithms.empty()) throw std::invalid_argument("run_sweep needs at least one algorithm");
+  if (const std::vector<std::string> problems = options.validate(); !problems.empty()) {
+    std::string joined = "invalid SweepOptions:";
+    for (const std::string& p : problems) joined += "\n  - " + p;
+    throw std::invalid_argument(joined);
+  }
 
   std::vector<std::string> names;
   names.reserve(algorithms.size());
@@ -129,11 +160,27 @@ SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
           const std::uint64_t seed = derive_seed(options.base_seed, config, error, rep);
           for (std::size_t a = 0; a < algorithms.size(); ++a) {
             const auto policy = algorithms[a].make(platform, options.w_total, error);
-            const sim::SimResult sim_result =
-                simulate(platform, *policy,
-                         make_sim_options(error, seed, options.distribution, options.faults,
-                                          options.fault_tolerance));
+            const sim::SimOptions sim_options =
+                make_sim_options(error, seed, options.distribution, options.faults,
+                                 options.fault_tolerance);
+            const sim::SimResult sim_result = simulate(platform, *policy, sim_options);
             makespans[a] = sim_result.makespan;
+
+            if (options.audit_runs) {
+              check::TraceAuditOptions audit_options;
+              audit_options.work_tolerance = sim_options.work_tolerance;
+              audit_options.uplink_channels = sim_options.uplink_channels;
+              check::audit_sim_result(sim_result, platform, options.w_total, audit_options)
+                  .throw_if_failed();
+            }
+
+            const obs::RunMetrics& m = sim_result.metrics;
+            CellStats& cell = result.cell(config_idx, error_idx, a);
+            cell.uplink_utilization.add(m.engine.uplink_utilization);
+            cell.worker_utilization.add(m.engine.mean_worker_utilization);
+            cell.events.add(static_cast<double>(m.des.events_executed));
+            cell.hol_blocking_time.add(m.engine.hol_blocking_time);
+            cell.work_redispatched.add(m.engine.work_redispatched);
           }
           for (std::size_t a = 0; a < algorithms.size(); ++a) {
             CellStats& cell = result.cell(config_idx, error_idx, a);

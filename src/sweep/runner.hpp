@@ -32,9 +32,21 @@ struct SweepOptions {
   faults::FaultSpec faults{};
   /// Detection/backoff knobs forwarded to the engine when faults are on.
   sim::SimOptions::FaultToleranceOptions fault_tolerance{};
+  /// Audit every repetition with check::audit_sim_result (work conservation
+  /// plus the observability identities). Cheap — no trace is recorded — and
+  /// a violation aborts the sweep with check::CheckError.
+  bool audit_runs = true;
+
+  /// Validates every option in one pass and returns the full list of
+  /// human-readable problems (empty means the options are usable).
+  /// run_sweep calls this up front and raises std::invalid_argument with
+  /// all of them.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
-/// Aggregated results for one (configuration, error, algorithm) cell.
+/// Aggregated results for one (configuration, error, algorithm) cell. The
+/// metric accumulators summarize the per-run observability records
+/// (mean/stddev over the cell's repetitions).
 struct CellStats {
   stats::Accumulator makespan;      ///< Over repetitions.
   std::size_t reps = 0;
@@ -42,6 +54,12 @@ struct CellStats {
   /// this one, and beat it by at least 10% (paper Tables 2 and 3).
   std::size_t ref_wins = 0;
   std::size_t ref_wins_by_10pct = 0;
+
+  stats::Accumulator uplink_utilization;   ///< Occupancy busy / makespan.
+  stats::Accumulator worker_utilization;   ///< Mean over workers per run.
+  stats::Accumulator events;               ///< DES events executed per run.
+  stats::Accumulator hol_blocking_time;    ///< Head-of-line blocking seconds.
+  stats::Accumulator work_redispatched;    ///< Fault-layer re-sent units.
 };
 
 /// Full sweep output. Cells are indexed [config][error][algorithm].

@@ -1,0 +1,141 @@
+// Tests for the public API facade (api/rumr.hpp): the Run builder, its
+// execution paths, self-auditing, and file loading.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/rumr.hpp"
+
+namespace rumr {
+namespace {
+
+platform::StarPlatform small_platform() {
+  platform::HomogeneousParams params;
+  params.workers = 4;
+  params.speed = 1.0;
+  params.bandwidth = 15.0;
+  params.comp_latency = 0.2;
+  params.comm_latency = 0.1;
+  return platform::StarPlatform::homogeneous(params);
+}
+
+TEST(RunBuilder, SettersRoundTripIntoDescription) {
+  rumr::Run run = rumr::Run()
+                .platform(small_platform())
+                .workload(250.0)
+                .algorithm("umr-eager")
+                .known_error(0.25)
+                .error(0.3)
+                .seed(123)
+                .repetitions(7);
+  const config::RunDescription& desc = run.description();
+  EXPECT_EQ(desc.platform.size(), 4u);
+  EXPECT_DOUBLE_EQ(desc.w_total, 250.0);
+  EXPECT_EQ(desc.algorithm, "umr-eager");
+  EXPECT_DOUBLE_EQ(desc.known_error, 0.25);
+  EXPECT_EQ(desc.sim_options.seed, 123u);
+  EXPECT_EQ(desc.repetitions, 7u);
+}
+
+TEST(RunBuilder, DefaultConstructedRunExecutes) {
+  // The default description must be a valid, audited run out of the box.
+  rumr::Run run = rumr::Run().workload(200.0);
+  const RunResult result = run.execute();
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(result.metrics.makespan, result.makespan);
+}
+
+TEST(RunExecute, ProducesAuditedMetricsAndOptionalTrace) {
+  rumr::Run run =
+      rumr::Run().platform(small_platform()).workload(300.0).algorithm("rumr").known_error(0.2).error(
+          0.2);
+  const RunResult untraced = run.execute();
+  EXPECT_TRUE(untraced.trace.spans().empty());
+  EXPECT_FALSE(untraced.metrics.engine.workers.empty());
+  EXPECT_NEAR(untraced.metrics.engine.uplink_busy_time + untraced.metrics.engine.uplink_idle_time,
+              untraced.makespan, 1e-9);
+
+  const RunResult traced = run.record_trace().execute();
+  EXPECT_FALSE(traced.trace.spans().empty());
+  EXPECT_DOUBLE_EQ(traced.makespan, untraced.makespan);
+}
+
+TEST(RunExecute, IsDeterministicAtFixedSeed) {
+  rumr::Run run = rumr::Run().platform(small_platform()).workload(300.0).error(0.4).seed(9);
+  const RunResult a = run.execute();
+  const RunResult b = run.execute();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.metrics.des.events_executed, b.metrics.des.events_executed);
+  EXPECT_EQ(a.metrics.engine.dispatches, b.metrics.engine.dispatches);
+}
+
+TEST(RunExecuteAll, DerivesDistinctSeedsPerRepetition) {
+  rumr::Run run = rumr::Run().platform(small_platform()).workload(300.0).error(0.4).seed(9).repetitions(3);
+  const std::vector<RunResult> results = run.execute_all();
+  ASSERT_EQ(results.size(), 3u);
+  // Independent error draws: at least two repetitions should differ.
+  EXPECT_TRUE(results[0].makespan != results[1].makespan ||
+              results[1].makespan != results[2].makespan);
+}
+
+TEST(RunExecuteAll, TracesOnlyLastRepetition) {
+  rumr::Run run =
+      rumr::Run().platform(small_platform()).workload(300.0).error(0.2).repetitions(3).record_trace();
+  const std::vector<RunResult> results = run.execute_all();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].trace.spans().empty());
+  EXPECT_TRUE(results[1].trace.spans().empty());
+  EXPECT_FALSE(results[2].trace.spans().empty());
+}
+
+TEST(RunExecute, InvalidOptionsThrowSimError) {
+  rumr::Run run = rumr::Run().platform(small_platform()).workload(300.0);
+  run.description().sim_options.worker_buffer_capacity = 0;
+  EXPECT_THROW((void)run.execute(), sim::SimError);
+}
+
+TEST(RunExecute, UnknownAlgorithmThrowsConfigError) {
+  rumr::Run run = rumr::Run().platform(small_platform()).workload(300.0).algorithm("definitely-not-real");
+  EXPECT_THROW((void)run.execute(), config::ConfigError);
+}
+
+TEST(RunFromFile, LoadsDescriptionAndExecutes) {
+  const std::string path = ::testing::TempDir() + "api_facade_test.rumr";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "[platform]\n"
+           "workers = 4\n"
+           "bandwidth = 15\n"
+           "comp_latency = 0.2\n"
+           "comm_latency = 0.1\n"
+           "\n"
+           "[workload]\n"
+           "total = 300\n"
+           "\n"
+           "[schedule]\n"
+           "algorithm = rumr\n"
+           "error = 0.2\n"
+           "\n"
+           "[simulation]\n"
+           "error = 0.2\n"
+           "seed = 42\n"
+           "repetitions = 2\n";
+  }
+  rumr::Run run = rumr::Run::from_file(path);
+  EXPECT_EQ(run.description().algorithm, "rumr");
+  EXPECT_EQ(run.description().repetitions, 2u);
+  const std::vector<RunResult> results = run.execute_all();
+  EXPECT_EQ(results.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(RunFromFile, MissingFileThrows) {
+  EXPECT_THROW((void)rumr::Run::from_file("/nonexistent/nowhere.rumr"), config::ConfigError);
+}
+
+}  // namespace
+}  // namespace rumr

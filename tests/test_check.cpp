@@ -244,6 +244,63 @@ TEST(TraceAudit, FiresOnMalformedSpan) {
   EXPECT_NE(report.summary().find("malformed span"), std::string::npos);
 }
 
+// --- observability-identity audit ------------------------------------------
+
+// A real run whose metrics the tests below corrupt one field at a time.
+sim::SimResult metrics_run() {
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 4, .speed = 1.0, .bandwidth = 8.0, .comp_latency = 0.1, .comm_latency = 0.05});
+  auto spec = sweep::umr_spec();
+  auto policy = spec.make(p, 200.0, 0.0);
+  return sim::simulate(p, *policy, sim::SimOptions::with_error(0.3, 21));
+}
+
+TEST(MetricsAudit, PassesOnAnUntouchedRun) {
+  const sim::SimResult result = metrics_run();
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 4, .speed = 1.0, .bandwidth = 8.0, .comp_latency = 0.1, .comm_latency = 0.05});
+  EXPECT_TRUE(audit_sim_result(result, p, 200.0).ok());
+}
+
+TEST(MetricsAudit, FiresOnUplinkOccupancyMismatch) {
+  sim::SimResult result = metrics_run();
+  result.metrics.engine.uplink_busy_time += 1.0;  // busy + idle no longer tiles the run
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 4, .speed = 1.0, .bandwidth = 8.0, .comp_latency = 0.1, .comm_latency = 0.05});
+  const AuditReport report = audit_sim_result(result, p, 200.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("uplink busy + idle vs makespan"), std::string::npos);
+}
+
+TEST(MetricsAudit, FiresOnWorkerSpanPartitionMismatch) {
+  sim::SimResult result = metrics_run();
+  result.metrics.engine.workers[0].idle_time -= 0.5;  // spans no longer partition the makespan
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 4, .speed = 1.0, .bandwidth = 8.0, .comp_latency = 0.1, .comm_latency = 0.05});
+  const AuditReport report = audit_sim_result(result, p, 200.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("compute + aborted + idle + down vs makespan"),
+            std::string::npos);
+}
+
+TEST(MetricsAudit, FiresOnDesEventLedgerMismatch) {
+  sim::SimResult result = metrics_run();
+  result.metrics.des.events_scheduled += 1;  // conservation: scheduled != executed + cancelled
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 4, .speed = 1.0, .bandwidth = 8.0, .comp_latency = 0.1, .comm_latency = 0.05});
+  const AuditReport report = audit_sim_result(result, p, 200.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("des events"), std::string::npos);
+}
+
+TEST(MetricsAudit, SkipsHandBuiltResultsWithoutMetrics) {
+  // Legacy hand-assembled results carry no metrics record; the audit must not
+  // report phantom violations for them.
+  const sim::SimResult r = toy_result();
+  EXPECT_TRUE(r.metrics.engine.workers.empty());
+  EXPECT_TRUE(audit_sim_result(r, two_workers(), 16.0).ok());
+}
+
 TEST(TraceAudit, AuditsARealEngineRun) {
   // End-to-end: a real simulate() under heavy prediction error must still
   // conserve work and respect the platform's resource constraints.

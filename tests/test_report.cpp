@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "report/ascii_plot.hpp"
@@ -146,6 +147,66 @@ TEST(AsciiPlot, SinglePointSeriesDoesNotCrash) {
   SeriesSet set;
   set.series.push_back({"dot", {0.5}, {1.0}});
   EXPECT_NO_THROW((void)render_plot(set));
+}
+
+// --- degenerate-input hardening --------------------------------------------
+
+TEST(SeriesSet, ExtremaSkipNonFiniteValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  SeriesSet set;
+  set.series.push_back({"a", {0.0, nan, 2.0}, {1.0, 5.0, inf}});
+  EXPECT_DOUBLE_EQ(set.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(set.max_x(), 2.0);
+  EXPECT_DOUBLE_EQ(set.min_y(), 1.0);
+  EXPECT_DOUBLE_EQ(set.max_y(), 5.0);
+}
+
+TEST(AsciiPlot, AllNonFiniteSeriesSaysNoData) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  SeriesSet set;
+  set.series.push_back({"ghost", {nan, nan}, {nan, nan}});
+  EXPECT_EQ(render_plot(set), "(no data)\n");
+}
+
+TEST(AsciiPlot, SkipsNonFinitePointsButPlotsTheRest) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  SeriesSet set;
+  set.series.push_back({"mixed", {0.0, 1.0, 2.0, 3.0}, {1.0, nan, inf, 2.0}});
+  std::string plot;
+  ASSERT_NO_THROW(plot = render_plot(set));
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("mixed"), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateDimensionsDoNotCrash) {
+  SeriesSet set;
+  set.series.push_back({"s", {0.0, 1.0}, {1.0, 2.0}});
+  PlotOptions options;
+  options.width = 1;
+  options.height = 1;
+  EXPECT_NO_THROW((void)render_plot(set, options));
+}
+
+TEST(AsciiPlot, IdenticalYValuesDoNotCrash) {
+  SeriesSet set;
+  set.series.push_back({"flat", {0.0, 1.0, 2.0}, {3.0, 3.0, 3.0}});
+  std::string plot;
+  ASSERT_NO_THROW(plot = render_plot(set));
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(Csv, SpellsNonFiniteValuesStably) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  SeriesSet set;
+  set.series.push_back({"s", {0.0, 1.0, 2.0}, {nan, inf, -inf}});
+  const std::string csv = to_csv(set);
+  EXPECT_NE(csv.find("s,0,nan"), std::string::npos);
+  EXPECT_NE(csv.find("s,1,inf"), std::string::npos);
+  EXPECT_NE(csv.find("s,2,-inf"), std::string::npos);
+  EXPECT_EQ(csv.find("-nan"), std::string::npos);
 }
 
 }  // namespace

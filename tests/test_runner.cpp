@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "report/metrics_io.hpp"
+
 namespace rumr::sweep {
 namespace {
 
@@ -141,6 +147,106 @@ TEST(Runner, UniformDistributionOptionIsHonored) {
   EXPECT_NE(rn.cell(0, 2, 0).makespan.mean(), ru.cell(0, 2, 0).makespan.mean());
   // But similar magnitude (the paper's "essentially similar" claim).
   EXPECT_NEAR(rn.cell(0, 2, 0).makespan.mean() / ru.cell(0, 2, 0).makespan.mean(), 1.0, 0.2);
+}
+
+// --- option validation ------------------------------------------------------
+
+TEST(SweepOptionsValidate, AcceptsDefaults) {
+  EXPECT_TRUE(SweepOptions{}.validate().empty());
+  EXPECT_TRUE(tiny_options().validate().empty());
+}
+
+TEST(SweepOptionsValidate, FlagsEachDegenerateField) {
+  SweepOptions options;
+  options.errors = {};
+  EXPECT_FALSE(options.validate().empty());
+
+  options = tiny_options();
+  options.errors = {0.1, -0.2};
+  EXPECT_FALSE(options.validate().empty());
+
+  options = tiny_options();
+  options.repetitions = 0;
+  EXPECT_FALSE(options.validate().empty());
+
+  options = tiny_options();
+  options.w_total = -5.0;
+  EXPECT_FALSE(options.validate().empty());
+}
+
+TEST(SweepOptionsValidate, MessagesAreHumanReadable) {
+  SweepOptions options;
+  options.errors = {};
+  options.repetitions = 0;
+  const std::vector<std::string> errors = options.validate();
+  ASSERT_GE(errors.size(), 2u);
+  for (const std::string& message : errors) EXPECT_FALSE(message.empty());
+}
+
+TEST(Runner, RejectsInvalidOptionsUpFront) {
+  SweepOptions options = tiny_options();
+  options.repetitions = 0;
+  EXPECT_THROW((void)run_sweep(make_grid(tiny_grid()), {umr_spec()}, options),
+               std::invalid_argument);
+}
+
+// --- metrics aggregation and export ----------------------------------------
+
+TEST(Runner, AggregatesObservabilityMetricsPerCell) {
+  const auto configs = make_grid(tiny_grid());
+  const std::vector<AlgorithmSpec> algos{rumr_spec(), umr_spec()};
+  const SweepResult res = run_sweep(configs, algos, tiny_options());
+  for (std::size_t e = 0; e < res.errors().size(); ++e) {
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      const CellStats& cell = res.cell(0, e, a);
+      EXPECT_EQ(cell.uplink_utilization.count(), cell.reps);
+      EXPECT_EQ(cell.worker_utilization.count(), cell.reps);
+      EXPECT_EQ(cell.events.count(), cell.reps);
+      EXPECT_EQ(cell.hol_blocking_time.count(), cell.reps);
+      EXPECT_EQ(cell.work_redispatched.count(), cell.reps);
+      EXPECT_GT(cell.uplink_utilization.mean(), 0.0);
+      EXPECT_LE(cell.uplink_utilization.mean(), 1.0);
+      EXPECT_GT(cell.events.mean(), 0.0);
+      // No faults in this sweep: nothing may be re-dispatched.
+      EXPECT_DOUBLE_EQ(cell.work_redispatched.mean(), 0.0);
+    }
+  }
+}
+
+TEST(MetricsIo, CsvHasOneRowPerCellWithStableHeader) {
+  const auto configs = make_grid(tiny_grid());
+  const std::vector<AlgorithmSpec> algos{rumr_spec(), umr_spec()};
+  const SweepResult res = run_sweep(configs, algos, tiny_options());
+  const std::string csv = report::sweep_metrics_csv(res);
+  EXPECT_NE(csv.find("config,error,algorithm,reps,makespan_mean,makespan_stddev"),
+            std::string::npos);
+  // Header + one row per (config, error, algorithm) cell.
+  const std::size_t rows = static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, 1u + res.configs().size() * res.errors().size() * res.algorithms().size());
+  EXPECT_NE(csv.find("RUMR"), std::string::npos);
+  EXPECT_NE(csv.find("UMR"), std::string::npos);
+}
+
+TEST(MetricsIo, JsonIsBalancedAndCarriesEveryCell) {
+  const auto configs = make_grid(tiny_grid());
+  const std::vector<AlgorithmSpec> algos{umr_spec()};
+  const SweepResult res = run_sweep(configs, algos, tiny_options());
+  const std::string json = report::sweep_metrics_json(res);
+  EXPECT_NE(json.find("\"algorithm\""), std::string::npos);
+  EXPECT_NE(json.find("\"uplink_utilization_mean\""), std::string::npos);
+  long depth = 0;
+  std::size_t objects = 0;
+  for (char c : json) {
+    if (c == '{') {
+      ++depth;
+      ++objects;
+    }
+    if (c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(objects, res.configs().size() * res.errors().size() * res.algorithms().size());
 }
 
 TEST(AlgorithmFactory, PaperLineUpNamesAndOrder) {
