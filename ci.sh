@@ -2,12 +2,11 @@
 # CI driver: builds and tests every correctness configuration.
 #
 #   ./ci.sh            all stages
-#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | metrics
+#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | metrics | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
-#   release     Release build + full ctest suite + determinism harness +
-#               machine-readable perf snapshot (results/BENCH_des.json)
+#   release     Release build + full ctest suite + determinism harness
 #   asan-ubsan  Debug + ASan/UBSan + expensive-tier RUMR_CHECKs + ctest
 #   tsan        RelWithDebInfo + TSan + expensive-tier RUMR_CHECKs + ctest
 #   tidy        clang-tidy over src/ with the repo .clang-tidy, zero-warning
@@ -15,11 +14,21 @@
 #   metrics     self-auditing observability demo (tools/metrics_demo) under
 #               the release and asan-ubsan presets; every scenario's metrics
 #               must satisfy the check:: identity audits
+#   perf        fresh bench_perf_json snapshot (results/BENCH_des.json) gated
+#               by tools/perf_gate against the checked-in
+#               results/BENCH_baseline.json: any rate more than 20% below
+#               baseline fails the stage; every snapshot is appended to
+#               results/BENCH_history.jsonl for the trajectory
+#
+# The release, asan-ubsan, and tsan stages each finish with an explicit
+# `ctest -L regression` pass: the golden-trace replays and the DES
+# property/fuzz suite are the lockdown for kernel/engine rework, so they run
+# visibly in every sanitizer configuration, not just inside the full suite.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy metrics}")
+STAGES=("${@:-release asan-ubsan tsan tidy metrics perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -28,9 +37,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|metrics) ;;
+    release|asan-ubsan|tsan|tidy|metrics|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | metrics)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | metrics | perf)" >&2
       exit 2
       ;;
   esac
@@ -44,6 +53,8 @@ build_and_test() {
   cmake --build --preset "$preset" -j "$JOBS"
   banner "ctest [$preset]"
   ctest --preset "$preset" -j "$JOBS"
+  banner "regression suite [$preset]"
+  ctest --preset "$preset" -L regression
 }
 
 for stage in "${STAGES[@]}"; do
@@ -54,8 +65,6 @@ for stage in "${STAGES[@]}"; do
       ./build/release/tools/determinism_check
       banner "robustness demo [release]"
       ./build/release/tools/robustness_demo
-      banner "perf snapshot [release]"
-      ./build/release/bench/bench_perf_json results/BENCH_des.json
       ;;
     asan-ubsan)
       build_and_test asan-ubsan
@@ -91,8 +100,18 @@ for stage in "${STAGES[@]}"; do
         "./build/$preset/tools/metrics_demo"
       done
       ;;
+    perf)
+      banner "configure+build perf gate [release]"
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS" --target bench_perf_json perf_gate
+      banner "perf snapshot [release]"
+      ./build/release/bench/bench_perf_json results/BENCH_des.json
+      banner "perf gate vs results/BENCH_baseline.json [>20% regression fails]"
+      ./build/release/tools/perf_gate results/BENCH_des.json results/BENCH_baseline.json \
+        --threshold 0.20 --history results/BENCH_history.jsonl
+      ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|metrics)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|metrics|perf)" >&2
       exit 2
       ;;
   esac

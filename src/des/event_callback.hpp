@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file event_callback.hpp
+/// Move-only callable with generous inline storage, built for the DES
+/// kernel's hot path.
+///
+/// Every event the master-worker engine schedules carries a lambda capturing
+/// `this` plus a handful of scalars — 16 to 56 bytes. `std::function`'s
+/// small-buffer optimization (16 bytes on libstdc++) punts all of them to
+/// the heap, one allocation per event, which dominates kernel cost at
+/// millions of events per second. EventCallback keeps 64 bytes inline so the
+/// engine's callbacks never allocate; larger or non-nothrow-movable
+/// callables fall back to a heap box transparently.
+///
+/// Dispatch is a three-entry static ops table per callable type (invoke /
+/// relocate / destroy) — one indirect call to invoke, no RTTI, no virtual
+/// bases. Moved-from callbacks are empty; invoking an empty callback is
+/// undefined (the kernel checks with RUMR_CHECK before accepting one).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rumr::des {
+
+namespace detail {
+
+template <typename T>
+struct IsStdFunction : std::false_type {};
+template <typename Sig>
+struct IsStdFunction<std::function<Sig>> : std::true_type {};
+
+/// Callables with their own empty state (function pointers, std::function):
+/// wrapping an empty one must yield an empty EventCallback, not a live
+/// callback that explodes when invoked.
+template <typename D>
+[[nodiscard]] bool callable_is_empty(const D& f) noexcept {
+  if constexpr (std::is_pointer_v<D> || std::is_member_pointer_v<D> ||
+                IsStdFunction<D>::value) {
+    return !f;
+  } else {
+    (void)f;
+    return false;
+  }
+}
+
+}  // namespace detail
+
+class EventCallback {
+ public:
+  /// Inline capacity, sized for the engine's largest hot-path lambda
+  /// (`this` + six scalars = 56 bytes) with a little headroom.
+  static constexpr std::size_t kInlineSize = 64;
+
+  EventCallback() noexcept = default;
+  EventCallback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if (detail::callable_is_empty<D>(f)) return;
+    constexpr bool kInline =
+        sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kInline) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  /// Invokes the stored callable. Precondition: *this is non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the stored callable (if any), leaving *this empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs `to` from `from`'s callable, then destroys `from`'s.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* from, void* to) noexcept {
+        D* f = std::launder(reinterpret_cast<D*>(from));
+        ::new (to) D(std::move(*f));
+        f->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kBoxedOps{
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* from, void* to) noexcept {
+        D** slot = std::launder(reinterpret_cast<D**>(from));
+        ::new (to) D*(*slot);
+        *slot = nullptr;
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+  };
+
+  void move_from(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rumr::des

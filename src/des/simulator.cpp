@@ -8,12 +8,38 @@
 namespace rumr::des {
 
 EventId Simulator::schedule_at(SimTime t, Callback callback) {
-  RUMR_CHECK(callback != nullptr, "event callback must be callable");
-  const EventId id = next_id_++;
+  RUMR_CHECK(static_cast<bool>(callback), "event callback must be callable");
+
+  // Peek (without committing) at the slot this event would occupy, so the id
+  // exists for the observer and nothing leaks if the in-the-past check
+  // throws. Generations start at 1, so no valid id is ever 0.
+  const bool reuse = !free_slots_.empty();
+  const std::uint32_t slot =
+      reuse ? free_slots_.back() : static_cast<std::uint32_t>(slots_.size());
+  const std::uint32_t generation = (reuse ? slots_[slot].generation : 0) + 1;
+  const EventId id = make_id(generation, slot);
+
+  ++scheduled_;
   if (observer_ != nullptr) observer_->on_schedule(id, t, now_);
   RUMR_CHECK(t >= now_, "cannot schedule an event in the simulated past");
-  queue_.push(PendingEvent{t < now_ ? now_ : t, id, std::move(callback)});
-  live_.insert(id);
+
+  if (reuse) {
+    free_slots_.pop_back();
+    slots_[slot].generation = generation;
+    callbacks_[slot] = std::move(callback);
+  } else {
+    RUMR_CHECK(slots_.size() < kNotPending, "event slab exhausted");
+    slots_.push_back({generation, kNotPending});
+    callbacks_.push_back(std::move(callback));
+  }
+
+  RUMR_CHECK((next_seq_ >> 32U) == 0, "event sequence space exhausted");
+  const std::size_t pos = heap_.size();
+  heap_.push_back({t < now_ ? now_ : t, (next_seq_++ << 32U) | slot});
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+  sift_up(pos);
+
+  if (heap_.size() > high_water_) high_water_ = heap_.size();
   return id;
 }
 
@@ -23,48 +49,129 @@ EventId Simulator::schedule_in(SimTime delay, Callback callback) {
 }
 
 bool Simulator::cancel(EventId id) {
-  // We cannot remove from the middle of the heap; mark and skip at pop time.
-  // Only a live id may grow cancelled_ — its heap entry is guaranteed to pop
-  // eventually and retire the tombstone, keeping the set bounded.
-  const bool was_pending = live_.erase(id) == 1;
-  if (was_pending) {
-    cancelled_.insert(id);
-    ++cancel_count_;
+  // Decode the handle and validate it against the slab: the slot must exist,
+  // the generation must match (a reused slot invalidates old handles), and
+  // the record must still be in the heap (fired events are not pending).
+  const auto slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFU);
+  const auto generation = static_cast<std::uint32_t>(id >> 32U);
+  bool was_pending = false;
+  if (generation != 0 && slot < slots_.size()) {
+    SlotMeta& meta = slots_[slot];
+    if (meta.generation == generation && meta.heap_pos != kNotPending) {
+      was_pending = true;
+      heap_remove(meta.heap_pos);
+      meta.heap_pos = kNotPending;
+      callbacks_[slot].reset();  // Release captured resources now, not at reuse.
+      free_slots_.push_back(slot);
+      ++cancel_count_;
+    }
   }
   if (observer_ != nullptr) observer_->on_cancel(id, was_pending);
-  RUMR_CHECK_EXPENSIVE(live_.size() + cancelled_.size() == queue_.size(),
+  RUMR_CHECK_EXPENSIVE(heap_.size() + free_slots_.size() == slots_.size(),
                        "event bookkeeping out of sync after cancel");
   return was_pending;
 }
 
-void Simulator::drop_cancelled_head() {
-  while (!queue_.empty()) {
-    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    break;
+void Simulator::sift_up(std::size_t pos) noexcept {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
   }
+  heap_[pos] = entry;
+  slots_[entry.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) noexcept {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::pop_root() noexcept {
+  const HeapEntry tail = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Walk the hole left at the root down along minimum children without
+  // comparing against `tail`: the tail came from the deepest level, so it
+  // almost always belongs back at the bottom, and the final sift_up is a
+  // single compare in the common case. This is the classic bottom-up pop —
+  // one comparison per level fewer than sifting tail down from the root.
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t first = pos * kArity + 1;
+    if (first >= n) break;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot()].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = tail;
+  slots_[tail.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+  sift_up(pos);
+}
+
+void Simulator::heap_remove(std::size_t pos) noexcept {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;
+  heap_[pos] = last;
+  slots_[last.slot()].heap_pos = static_cast<std::uint32_t>(pos);
+  // The displaced element may belong above or below its new position; one of
+  // these is a no-op.
+  sift_up(pos);
+  sift_down(slots_[last.slot()].heap_pos);
 }
 
 bool Simulator::step() {
-  drop_cancelled_head();
-  if (queue_.empty()) {
-    RUMR_CHECK(live_.empty() && cancelled_.empty(),
-               "event bookkeeping out of sync: drained queue with live ids");
-    return false;
-  }
-  PendingEvent ev = queue_.top();
-  queue_.pop();
-  live_.erase(ev.id);
-  RUMR_CHECK_EXPENSIVE(live_.size() + cancelled_.size() == queue_.size(),
-                       "event bookkeeping out of sync after pop");
-  assert(ev.time >= now_ && "heap yielded an event from the simulated past");
-  now_ = ev.time;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot();
+  assert(heap_[0].time >= now_ && "heap yielded an event from the simulated past");
+  now_ = heap_[0].time;
+
+#if defined(__GNUC__) || defined(__clang__)
+  // The winning callback lives at an effectively random offset in a large
+  // array, so it is usually a cache miss. Kick the fetch off now and do the
+  // heap restructuring while it is in flight; the move below then hits.
+  __builtin_prefetch(&callbacks_[slot]);
+  __builtin_prefetch(reinterpret_cast<const char*>(&callbacks_[slot]) + 64);
+#endif
+  pop_root();
+
+  // Move the callback out and retire the slot *before* invoking: the handler
+  // may schedule new events, and handing it this just-freed, cache-warm slot
+  // is exactly what makes event chains allocation-free.
+  Callback callback = std::move(callbacks_[slot]);
+  slots_[slot].heap_pos = kNotPending;
+  free_slots_.push_back(slot);
   ++processed_;
-  if (observer_ != nullptr) observer_->on_execute(ev.id, ev.time);
-  ev.callback();
+  RUMR_CHECK_EXPENSIVE(heap_.size() + free_slots_.size() == slots_.size(),
+                       "event bookkeeping out of sync after pop");
+
+  if (observer_ != nullptr) observer_->on_execute(make_id(slots_[slot].generation, slot), now_);
+  callback();
   return true;
 }
 
@@ -77,9 +184,7 @@ std::size_t Simulator::run(std::size_t max_events) {
 std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events) {
-    // Peek through cancelled entries without executing anything.
-    drop_cancelled_head();
-    if (queue_.empty() || queue_.top().time > deadline) break;
+    if (heap_.empty() || heap_[0].time > deadline) break;
     if (!step()) break;
     ++executed;
   }

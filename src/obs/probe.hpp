@@ -4,7 +4,10 @@
 /// Live collectors the simulation engine drives while a run executes.
 ///
 /// DesProbe watches the DES kernel through the des::EventObserver hooks and
-/// tracks the pending-queue depth high-water mark. EngineProbe is a per-worker
+/// tracks the pending-queue depth high-water mark. The kernel now maintains
+/// that statistic natively (Simulator::queue_depth_high_water), so the engine
+/// no longer attaches a DesProbe; it remains for consumers who want
+/// observer-driven accounting on their own simulators. EngineProbe is a per-worker
 /// state machine plus uplink occupancy accounting: the engine reports every
 /// state transition (compute start/end/abort, outage start/end, channel
 /// acquire/release, rendezvous block/unblock) and the probe partitions

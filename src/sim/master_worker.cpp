@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <deque>
 #include <utility>
 #include <limits>
 #include <sstream>
 
 #include "check/check.hpp"
+#include "util/flat_fifo.hpp"
 #include "des/simulator.hpp"
 #include "obs/probe.hpp"
 #include "stats/rng.hpp"
@@ -118,7 +118,9 @@ class Engine final : public MasterContext {
       for (const std::string& e : errors) joined += "\n  - " + e;
       throw SimError(joined);
     }
-    sim_.set_observer(&des_probe_);
+    // No observer is attached: the kernel maintains every metric we report
+    // (schedule/execute/cancel counts, queue-depth high-water) natively, so
+    // the DES hot path runs with its observer branch never taken.
     if (faults_on_) {
       // Throws std::invalid_argument on a malformed FaultSpec.
       timeline_ = faults::FaultTimeline(options.faults, platform.size(), options.seed);
@@ -191,7 +193,7 @@ class Engine final : public MasterContext {
     m.des.events_scheduled = sim_.events_scheduled();
     m.des.events_executed = sim_.events_processed();
     m.des.events_cancelled = sim_.events_cancelled();
-    m.des.queue_depth_high_water = des_probe_.queue_depth_high_water();
+    m.des.queue_depth_high_water = sim_.queue_depth_high_water();
     m.des.wall_seconds = wall_seconds;
     m.des.events_per_second =
         wall_seconds > 0.0 ? static_cast<double>(sim_.events_processed()) / wall_seconds : 0.0;
@@ -770,7 +772,7 @@ class Engine final : public MasterContext {
 
   std::size_t busy_channels_ = 0;
   bool downlink_busy_ = false;
-  std::deque<std::pair<std::size_t, double>> output_queue_;
+  util::FlatFifo<std::pair<std::size_t, double>> output_queue_;
   des::SimTime scheduled_poll_ = kNoPoll;
   double uplink_busy_time_ = 0.0;
   double downlink_busy_time_ = 0.0;
@@ -780,11 +782,11 @@ class Engine final : public MasterContext {
 
   std::vector<WorkerStatus> status_;
   std::vector<WorkerOutcome> outcomes_;
-  std::vector<std::deque<QueuedChunk>> queues_;
+  std::vector<util::FlatFifo<QueuedChunk>> queues_;
   std::vector<char> computing_;
   std::vector<std::size_t> in_flight_;
   std::optional<Dispatch> pending_send_;
-  std::vector<std::deque<double>> pending_pred_comp_;
+  std::vector<util::FlatFifo<double>> pending_pred_comp_;
   Trace trace_;
 
   // Fault layer (all inert when faults_on_ is false).
@@ -803,8 +805,8 @@ class Engine final : public MasterContext {
   std::vector<std::size_t> suspicions_;
   std::vector<std::size_t> lease_epoch_;  ///< Bumped at each fence; stale arrivals drop.
   std::uint64_t next_lease_ = 0;          ///< Per-dispatch lease id source.
-  std::vector<std::deque<DispatchRecord>> dispatch_records_;
-  std::deque<RedispatchItem> redispatch_queue_;
+  std::vector<util::FlatFifo<DispatchRecord>> dispatch_records_;
+  util::FlatFifo<RedispatchItem> redispatch_queue_;
   FaultSummary fstats_;
   bool work_all_done_ = false;
 
@@ -813,7 +815,6 @@ class Engine final : public MasterContext {
   static constexpr double kChunkHistFirstEdge = 0.25;  ///< Workload units.
   static constexpr double kCompHistFirstEdge = 0.01;   ///< Simulated seconds.
   static constexpr std::size_t kHistBuckets = 16;
-  obs::DesProbe des_probe_;
   obs::EngineProbe probe_;
   obs::Histogram chunk_hist_;
   obs::Histogram comp_hist_;

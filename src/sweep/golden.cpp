@@ -1,0 +1,226 @@
+#include "sweep/golden.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/trace_audit.hpp"
+#include "faults/fault_model.hpp"
+#include "platform/platform.hpp"
+#include "sim/master_worker.hpp"
+#include "sweep/scheduler_factory.hpp"
+#include "util/json_lite.hpp"
+
+namespace rumr::sweep::golden {
+
+namespace {
+
+/// The paper-figure algorithm line-up the fixtures pin down.
+std::vector<AlgorithmSpec> golden_lineup() {
+  std::vector<AlgorithmSpec> specs;
+  specs.push_back(umr_spec());
+  specs.push_back(rumr_spec());
+  specs.push_back(factoring_spec());
+  specs.push_back(mi_spec(2));
+  specs.push_back(weighted_factoring_spec());
+  return specs;
+}
+
+/// Full scenario definition: platform + workload + error + seed + faults.
+struct ScenarioDef {
+  const char* name;
+  double w_total;
+  double error;
+  std::uint64_t seed;
+  platform::StarPlatform (*make_platform)();
+  faults::FaultSpec (*make_faults)();
+};
+
+platform::StarPlatform homogeneous_10() {
+  return platform::StarPlatform::homogeneous({.workers = 10, .speed = 1.0, .bandwidth = 15.0,
+                                              .comp_latency = 0.05, .comm_latency = 0.02,
+                                              .transfer_latency = 0.01});
+}
+
+platform::StarPlatform heterogeneous_4() {
+  return platform::StarPlatform({
+      {2.0, 20.0, 0.05, 0.02, 0.01},
+      {1.0, 12.0, 0.05, 0.02, 0.01},
+      {0.5, 8.0, 0.05, 0.02, 0.01},
+      {1.5, 16.0, 0.05, 0.02, 0.01},
+  });
+}
+
+faults::FaultSpec no_faults() { return faults::FaultSpec::none(); }
+
+/// Two overlapping transient outages: the master fences both workers,
+/// reclaims their chunks, and re-dispatches to survivors — the full
+/// failure-handling path, yet fully scripted (no fault-RNG draws).
+faults::FaultSpec scripted_outages() {
+  return faults::FaultSpec::scripted({
+      {1, {5.0, 60.0}},
+      {3, {12.0, 45.0}},
+  });
+}
+
+constexpr ScenarioDef kScenarios[] = {
+    {"homogeneous-10", 1000.0, 0.3, 42, &homogeneous_10, &no_faults},
+    {"heterogeneous-4", 400.0, 0.2, 7, &heterogeneous_4, &no_faults},
+    {"faults-scripted", 1000.0, 0.2, 11, &homogeneous_10, &scripted_outages},
+};
+
+const ScenarioDef& find_scenario(const std::string& name) {
+  for (const ScenarioDef& def : kScenarios) {
+    if (name == def.name) return def;
+  }
+  throw std::invalid_argument("golden: unknown scenario '" + name + "'");
+}
+
+void emit_case(std::ostringstream& out, const GoldenCase& c, bool last) {
+  out << "    {\"algorithm\": \"" << c.algorithm << "\", \"makespan\": " << c.makespan
+      << ", \"work_dispatched\": " << c.work_dispatched
+      << ", \"uplink_busy_time\": " << c.uplink_busy_time << ", \"chunks\": " << c.chunks
+      << ", \"events\": " << c.events << ", \"chunks_redispatched\": " << c.chunks_redispatched
+      << "}" << (last ? "" : ",") << "\n";
+}
+
+std::uint64_t as_count(const util::JsonValue& v, const char* what) {
+  const double d = v.as_number();
+  if (d < 0.0 || d != std::floor(d)) {
+    throw std::runtime_error(std::string("golden: '") + what + "' is not a whole count");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+bool close(double a, double b, double rel_tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const ScenarioDef& def : kScenarios) names.emplace_back(def.name);
+  return names;
+}
+
+GoldenScenario record_scenario(const std::string& name) {
+  const ScenarioDef& def = find_scenario(name);
+  const platform::StarPlatform platform = def.make_platform();
+
+  GoldenScenario scenario;
+  scenario.name = def.name;
+  scenario.w_total = def.w_total;
+  scenario.error = def.error;
+  scenario.seed = def.seed;
+
+  for (const AlgorithmSpec& spec : golden_lineup()) {
+    auto policy = spec.make(platform, def.w_total, def.error);
+    sim::SimOptions options = sim::SimOptions::with_error(def.error, def.seed);
+    options.faults = def.make_faults();
+    const sim::SimResult result = sim::simulate(platform, *policy, options);
+
+    // A fingerprint of a run that violates its own invariants is worthless.
+    check::audit_sim_result(result, platform, def.w_total).throw_if_failed();
+
+    GoldenCase c;
+    c.algorithm = spec.name;
+    c.makespan = result.makespan;
+    c.work_dispatched = result.work_dispatched;
+    c.uplink_busy_time = result.uplink_busy_time;
+    c.chunks = result.chunks_dispatched;
+    c.events = result.events;
+    c.chunks_redispatched = result.faults.chunks_redispatched;
+    scenario.cases.push_back(std::move(c));
+  }
+  return scenario;
+}
+
+std::string to_json(const GoldenScenario& scenario) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "{\n"
+      << "  \"schema\": \"rumr-golden-v1\",\n"
+      << "  \"scenario\": \"" << scenario.name << "\",\n"
+      << "  \"w_total\": " << scenario.w_total << ",\n"
+      << "  \"error\": " << scenario.error << ",\n"
+      << "  \"seed\": " << scenario.seed << ",\n"
+      << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < scenario.cases.size(); ++i) {
+    emit_case(out, scenario.cases[i], i + 1 == scenario.cases.size());
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+GoldenScenario from_json(const std::string& text) {
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  if (doc.at("schema").as_string() != "rumr-golden-v1") {
+    throw std::runtime_error("golden: unrecognized fixture schema");
+  }
+  GoldenScenario scenario;
+  scenario.name = doc.at("scenario").as_string();
+  scenario.w_total = doc.at("w_total").as_number();
+  scenario.error = doc.at("error").as_number();
+  scenario.seed = as_count(doc.at("seed"), "seed");
+  for (const util::JsonValue& entry : doc.at("cases").as_array()) {
+    GoldenCase c;
+    c.algorithm = entry.at("algorithm").as_string();
+    c.makespan = entry.at("makespan").as_number();
+    c.work_dispatched = entry.at("work_dispatched").as_number();
+    c.uplink_busy_time = entry.at("uplink_busy_time").as_number();
+    c.chunks = as_count(entry.at("chunks"), "chunks");
+    c.events = as_count(entry.at("events"), "events");
+    c.chunks_redispatched = as_count(entry.at("chunks_redispatched"), "chunks_redispatched");
+    scenario.cases.push_back(std::move(c));
+  }
+  return scenario;
+}
+
+std::vector<std::string> compare(const GoldenScenario& expected, const GoldenScenario& fresh,
+                                 double rel_tol) {
+  std::vector<std::string> diffs;
+  std::ostringstream line;
+  line << std::setprecision(17);
+  const auto diff = [&diffs, &line](const auto&... parts) {
+    line.str("");
+    (line << ... << parts);
+    diffs.push_back(line.str());
+  };
+
+  if (expected.name != fresh.name) {
+    diff("scenario name: expected '", expected.name, "', got '", fresh.name, "'");
+    return diffs;
+  }
+  if (expected.cases.size() != fresh.cases.size()) {
+    diff("case count: expected ", expected.cases.size(), ", got ", fresh.cases.size());
+    return diffs;
+  }
+  for (std::size_t i = 0; i < expected.cases.size(); ++i) {
+    const GoldenCase& e = expected.cases[i];
+    const GoldenCase& f = fresh.cases[i];
+    if (e.algorithm != f.algorithm) {
+      diff("case ", i, ": algorithm expected '", e.algorithm, "', got '", f.algorithm, "'");
+      continue;
+    }
+    const auto check_double = [&](const char* what, double want, double got) {
+      if (!close(want, got, rel_tol)) {
+        diff(e.algorithm, " ", what, ": expected ", want, ", got ", got);
+      }
+    };
+    const auto check_count = [&](const char* what, std::uint64_t want, std::uint64_t got) {
+      if (want != got) diff(e.algorithm, " ", what, ": expected ", want, ", got ", got);
+    };
+    check_double("makespan", e.makespan, f.makespan);
+    check_double("work_dispatched", e.work_dispatched, f.work_dispatched);
+    check_double("uplink_busy_time", e.uplink_busy_time, f.uplink_busy_time);
+    check_count("chunks", e.chunks, f.chunks);
+    check_count("events", e.events, f.events);
+    check_count("chunks_redispatched", e.chunks_redispatched, f.chunks_redispatched);
+  }
+  return diffs;
+}
+
+}  // namespace rumr::sweep::golden

@@ -46,6 +46,7 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = threads == 0 ? default_thread_count() : threads;
+  if (n <= 1) return;  // Inline pool: no threads, submit() runs the task itself.
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -60,6 +61,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // Inline pool: run right here, on the calling thread.
+    return;
+  }
   {
     const std::lock_guard lock(mutex_);
     queue_.push(std::move(task));
@@ -68,6 +73,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;  // Inline pool: submit() already ran everything.
   std::unique_lock lock(mutex_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }

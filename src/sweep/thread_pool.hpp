@@ -26,6 +26,13 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 
 /// Simple fixed-size thread pool for irregular task graphs.
+///
+/// A pool whose resolved width is 1 runs *inline*: no worker thread is ever
+/// spawned, submit() executes the task immediately on the calling thread,
+/// and wait_idle() is a no-op. Sweep tasks are order-independent, so inline
+/// execution produces identical results to any threaded configuration while
+/// skipping thread creation, the mutex, and the condition variables
+/// entirely.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads = 0);
@@ -33,13 +40,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw (std::terminate otherwise).
+  /// Enqueues a task. Tasks must not throw (std::terminate from a worker
+  /// thread otherwise; an inline pool propagates the exception to the
+  /// caller, which aborts a sweep just the same).
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
 
-  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+  /// Execution width: how many tasks can run concurrently (1 for an inline
+  /// pool).
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Worker threads actually spawned — 0 for an inline pool. The regression
+  /// suite asserts a width-1 pool never creates a thread.
+  [[nodiscard]] std::size_t spawned_threads() const noexcept { return workers_.size(); }
 
  private:
   void worker_loop();

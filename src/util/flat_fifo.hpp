@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file flat_fifo.hpp
+/// Small contiguous FIFO queue.
+///
+/// The simulation engine keeps several short queues per worker (buffered
+/// chunks, in-flight dispatch records, pending output transfers). Each holds
+/// at most a handful of elements, but std::deque allocates a ~0.5 KB chunk
+/// the moment it is constructed — and a sweep constructs five queues per
+/// worker per run, so those dead allocations dominate engine setup cost.
+///
+/// FlatFifo stores elements in one std::vector and pops by advancing a head
+/// index, compacting (cheaply, via clear) whenever the queue drains. A queue
+/// therefore allocates at most once per run and stays cache-resident; memory
+/// between drains is bounded by the number of pushes, which the engine's
+/// buffer capacities keep small.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rumr::util {
+
+template <typename T>
+class FlatFifo {
+ public:
+  using iterator = typename std::vector<T>::iterator;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  void push_back(const T& value) { items_.push_back(value); }
+  void push_back(T&& value) { items_.push_back(std::move(value)); }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == items_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size() - head_; }
+
+  [[nodiscard]] T& front() { return items_[head_]; }
+  [[nodiscard]] const T& front() const { return items_[head_]; }
+
+  /// Removes the front element. O(1); storage is reclaimed (capacity kept)
+  /// once the queue drains empty.
+  void pop_front() {
+    if (++head_ == items_.size()) clear();
+  }
+
+  /// Removes the element at `it` (from begin()..end()), preserving order.
+  iterator erase(iterator it) {
+    iterator next = items_.erase(it);
+    if (head_ == items_.size()) clear();
+    return next;
+  }
+
+  void clear() noexcept {
+    items_.clear();
+    head_ = 0;
+  }
+
+  [[nodiscard]] iterator begin() noexcept {
+    return items_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  [[nodiscard]] iterator end() noexcept { return items_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return items_.begin() + static_cast<std::ptrdiff_t>(head_);
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+
+ private:
+  std::vector<T> items_;
+  std::size_t head_ = 0;  ///< Index of the front element; items before it are dead.
+};
+
+}  // namespace rumr::util

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file json_lite.hpp
+/// Minimal JSON reader for the repo's own machine-readable artifacts
+/// (golden-result fixtures, perf-gate baselines).
+///
+/// This is deliberately not a general-purpose JSON library: it parses the
+/// subset the repo's writers emit (objects, arrays, strings, finite numbers,
+/// booleans, null) into a plain value tree, throws std::runtime_error with a
+/// byte offset on malformed input, and has no dependencies beyond the
+/// standard library. Writers stay hand-rolled (trace_json, metrics_io,
+/// golden) — only the *read* side needs shared code.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rumr::util {
+
+/// One parsed JSON value. A plain tagged struct, not an API to grow: the
+/// fixture schemas are flat enough that callers just walk the tree.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document (surrounding whitespace allowed). Throws
+  /// std::runtime_error naming the byte offset on malformed input or
+  /// trailing garbage.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup: nullptr when absent (or when this is not an
+  /// object). Duplicate keys resolve to the first occurrence.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Object member that must exist; throws std::runtime_error naming the key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace rumr::util

@@ -1,0 +1,85 @@
+// Golden-result regression rig (sweep/golden.hpp).
+//
+// Replays every recorded scenario in tests/golden/ and demands the fresh
+// fingerprints match the fixtures: counts exactly, doubles to 1e-12
+// relative. The fixtures were recorded from the pre-rewrite DES kernel, so
+// this suite is what pins "observationally invisible" for kernel and engine
+// rework — any drift in event order, RNG draw sequence, or metric
+// bookkeeping lands here as a readable per-field diff.
+//
+// Fixtures are regenerated only when results are *supposed* to change:
+//   build/release/tools/golden_record tests/golden
+
+#include "sweep/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rumr::sweep::golden {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(RUMR_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open fixture " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class GoldenReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenReplay, MatchesRecordedFixture) {
+  const GoldenScenario expected = from_json(read_file(fixture_path(GetParam())));
+  EXPECT_EQ(expected.name, GetParam());
+  ASSERT_FALSE(expected.cases.empty()) << "fixture has no recorded cases";
+
+  const GoldenScenario fresh = record_scenario(GetParam());
+  const std::vector<std::string> mismatches = compare(expected, fresh);
+  for (const std::string& m : mismatches) ADD_FAILURE() << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, GoldenReplay, ::testing::ValuesIn(scenario_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(GoldenFormat, JsonRoundTripIsLossless) {
+  const GoldenScenario original = record_scenario(scenario_names().front());
+  const GoldenScenario reparsed = from_json(to_json(original));
+  EXPECT_TRUE(compare(original, reparsed).empty());
+}
+
+TEST(GoldenFormat, CompareFlagsEveryDriftedField) {
+  GoldenScenario expected = record_scenario(scenario_names().front());
+  GoldenScenario drifted = expected;
+  drifted.cases.at(0).makespan *= 1.0 + 1e-6;  // Far outside the 1e-12 tolerance.
+  drifted.cases.at(1).events += 1;
+  const std::vector<std::string> mismatches = compare(expected, drifted);
+  EXPECT_EQ(mismatches.size(), 2u);
+}
+
+TEST(GoldenFormat, CompareToleratesLastUlpNoise) {
+  GoldenScenario expected = record_scenario(scenario_names().front());
+  GoldenScenario wiggled = expected;
+  wiggled.cases.at(0).makespan *= 1.0 + 1e-15;  // Inside the 1e-12 tolerance.
+  EXPECT_TRUE(compare(expected, wiggled).empty());
+}
+
+TEST(GoldenFormat, RejectsUnknownScenario) {
+  EXPECT_THROW((void)record_scenario("no-such-scenario"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rumr::sweep::golden

@@ -1,0 +1,74 @@
+// Tests for the minimal JSON reader (util/json_lite.hpp) used by the golden
+// fixtures and the perf-gate baselines.
+
+#include "util/json_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace rumr::util {
+namespace {
+
+TEST(JsonLite, ParsesFlatRateObject) {
+  const JsonValue doc = JsonValue::parse(R"({"a": 1.5, "b": 2e6, "c": -3})");
+  ASSERT_EQ(doc.as_object().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("b").as_number(), 2e6);
+  EXPECT_DOUBLE_EQ(doc.at("c").as_number(), -3.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonLite, ParsesNestedStructure) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"name": "homogeneous-10", "cases": [{"ok": true}, {"ok": false}], "none": null})");
+  EXPECT_EQ(doc.at("name").as_string(), "homogeneous-10");
+  ASSERT_EQ(doc.at("cases").as_array().size(), 2u);
+  EXPECT_TRUE(doc.at("cases").as_array()[0].at("ok").as_bool());
+  EXPECT_FALSE(doc.at("cases").as_array()[1].at("ok").as_bool());
+}
+
+TEST(JsonLite, RoundTripsFullPrecisionDoubles) {
+  // Golden fixtures are written with 17 significant digits; the reader must
+  // reproduce the exact bit pattern.
+  const double value = 134.88428544543922;
+  const JsonValue doc = JsonValue::parse(R"({"makespan": 134.88428544543922})");
+  EXPECT_EQ(doc.at("makespan").as_number(), value);
+}
+
+TEST(JsonLite, ParsesStringEscapes) {
+  const JsonValue doc = JsonValue::parse(R"({"s": "a\"b\\c\nd"})");
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\\c\nd");
+}
+
+TEST(JsonLite, KindMismatchesThrow) {
+  const JsonValue doc = JsonValue::parse(R"({"n": 1})");
+  EXPECT_THROW((void)doc.at("n").as_string(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("n").as_bool(), std::runtime_error);
+  EXPECT_THROW((void)doc.at("n").as_array(), std::runtime_error);
+  EXPECT_THROW((void)doc.as_number(), std::runtime_error);
+}
+
+TEST(JsonLite, RejectsMalformedInput) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a": })"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a": 1e})"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a": inf})"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse(R"({"a": "unterminated})"), std::runtime_error);
+  // \u escapes are deliberately unsupported (the repo's writers never emit
+  // them); the reader must reject rather than silently mangle.
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": \"\\u0041\"}"), std::runtime_error);
+}
+
+TEST(JsonLite, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW((void)JsonValue::parse(deep), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rumr::util

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace rumr::sweep {
@@ -89,6 +91,68 @@ TEST(ThreadPool, ReportsThreadCount) {
 
 TEST(DefaultThreadCount, AtLeastOne) {
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+// --- width-1 inline mode ----------------------------------------------------
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNoThreadsAndRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.spawned_threads(), 0u);
+  EXPECT_EQ(pool.thread_count(), 1u);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on{};
+  int runs = 0;
+  pool.submit([&] {
+    ran_on = std::this_thread::get_id();
+    ++runs;
+  });
+  // Inline semantics: the task already completed during submit(), on the
+  // calling thread, before any wait.
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(ran_on, caller);
+  pool.wait_idle();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, InlinePoolHandlesTasksSubmittingTasks) {
+  ThreadPool pool(1);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) pool.submit(recurse);
+  };
+  pool.submit(recurse);
+  pool.wait_idle();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(ThreadPool, MultiThreadPoolStillSpawnsWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.spawned_threads(), 4u);
+  EXPECT_EQ(pool.thread_count(), 4u);
+}
+
+TEST(ThreadPool, IdenticalResultsForZeroOneAndManyThreads) {
+  // Deterministic per-index work (a splitmix64 round): the result vector
+  // must not depend on the pool width at all.
+  const auto mix = [](std::uint64_t i) {
+    std::uint64_t z = i + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31U);
+  };
+  const auto run = [&mix](std::size_t threads) {
+    std::vector<std::uint64_t> out(128, 0);
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      pool.submit([&out, &mix, i] { out[i] = mix(i); });
+    }
+    pool.wait_idle();
+    return out;
+  };
+  const std::vector<std::uint64_t> reference = run(1);
+  EXPECT_EQ(run(0), reference);
+  EXPECT_EQ(run(4), reference);
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+// golden_record — (re)generates the golden-result regression fixtures.
+//
+// Runs every scenario defined in sweep/golden.hpp and writes one fixture
+// file per scenario into the given directory (default tests/golden/). The
+// fixtures are committed; tests/test_golden.cpp replays them on every CI
+// stage, so a kernel or engine change that drifts any paper-figure number
+// shows up as a named, per-algorithm diff instead of a silent shift.
+//
+// Regenerate ONLY when a change is *supposed* to alter simulation results
+// (new RNG layout, changed engine semantics) — never to make a failing
+// refactor pass. Usage: golden_record [output-dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sweep/golden.hpp"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "tests/golden";
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  for (const std::string& name : rumr::sweep::golden::scenario_names()) {
+    const rumr::sweep::golden::GoldenScenario scenario =
+        rumr::sweep::golden::record_scenario(name);
+    const std::filesystem::path path = dir / (name + ".json");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "golden_record: cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << rumr::sweep::golden::to_json(scenario);
+    std::printf("recorded %-16s (%zu cases) -> %s\n", name.c_str(), scenario.cases.size(),
+                path.c_str());
+  }
+  return 0;
+}

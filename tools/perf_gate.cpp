@@ -1,0 +1,185 @@
+// perf_gate — performance-regression gate over bench_perf_json snapshots.
+//
+// Compares a fresh results/BENCH_des.json against the checked-in baseline
+// (results/BENCH_baseline.json). Every metric is a rate (higher is better);
+// the gate fails when any metric drops more than the noise threshold below
+// its baseline. Improvements and new metrics never fail — they are reported
+// so the baseline can be refreshed (--update-baseline) when a speedup lands.
+//
+//   perf_gate <fresh.json> <baseline.json>
+//             [--threshold 0.20]        allowed fractional drop (default 20%)
+//             [--history <file>]        append the fresh snapshot as one
+//                                       JSONL line (the bench trajectory)
+//             [--update-baseline]       overwrite the baseline with the
+//                                       fresh snapshot and exit 0
+//
+// Exit status: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json_lite.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+/// Flat {metric: rate} snapshot, in file order.
+using Snapshot = std::vector<std::pair<std::string, double>>;
+
+Snapshot parse_snapshot(const std::string& text, const std::string& path) {
+  Snapshot snap;
+  // Parse into a named value: as_object() returns a reference into the
+  // document, which a temporary would destroy before the loop body runs.
+  const rumr::util::JsonValue doc = rumr::util::JsonValue::parse(text);
+  for (const auto& [key, value] : doc.as_object()) {
+    const double rate = value.as_number();
+    if (!(rate > 0.0)) {
+      throw std::runtime_error(path + ": metric '" + key + "' is not a positive rate");
+    }
+    snap.emplace_back(key, rate);
+  }
+  if (snap.empty()) throw std::runtime_error(path + ": no metrics found");
+  return snap;
+}
+
+const double* find(const Snapshot& snap, const std::string& key) {
+  for (const auto& [k, v] : snap) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// One JSONL line per gate run; the file is the bench trajectory over time.
+bool append_history(const std::string& path, const Snapshot& fresh) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << "{";
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << fresh[i].first << "\": " << fresh[i].second;
+  }
+  out << "}\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fresh_path;
+  std::string baseline_path;
+  std::string history_path;
+  double threshold = 0.20;
+  bool update_baseline = false;
+
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--history" && i + 1 < argc) {
+      history_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "perf_gate: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2 || !(threshold > 0.0) || !(threshold < 1.0)) {
+    std::fprintf(stderr,
+                 "usage: perf_gate <fresh.json> <baseline.json> [--threshold 0.20] "
+                 "[--history <file>] [--update-baseline]\n");
+    return 2;
+  }
+  fresh_path = positional[0];
+  baseline_path = positional[1];
+
+  std::string fresh_text;
+  if (!read_file(fresh_path, fresh_text)) {
+    std::fprintf(stderr, "perf_gate: cannot read %s\n", fresh_path.c_str());
+    return 2;
+  }
+
+  Snapshot fresh;
+  try {
+    fresh = parse_snapshot(fresh_text, fresh_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_gate: %s\n", e.what());
+    return 2;
+  }
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "perf_gate: cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    out << fresh_text;
+    std::printf("perf_gate: baseline %s updated from %s\n", baseline_path.c_str(),
+                fresh_path.c_str());
+    return 0;
+  }
+
+  std::string baseline_text;
+  if (!read_file(baseline_path, baseline_text)) {
+    std::fprintf(stderr,
+                 "perf_gate: cannot read baseline %s (record one with --update-baseline)\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  Snapshot baseline;
+  try {
+    baseline = parse_snapshot(baseline_text, baseline_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_gate: %s\n", e.what());
+    return 2;
+  }
+
+  int regressions = 0;
+  for (const auto& [key, base] : baseline) {
+    const double* now = find(fresh, key);
+    if (now == nullptr) {
+      std::printf("  FAIL  %-28s missing from fresh snapshot\n", key.c_str());
+      ++regressions;
+      continue;
+    }
+    const double ratio = *now / base;
+    const bool ok = ratio >= 1.0 - threshold;
+    std::printf("  %s  %-28s %10.3g -> %10.3g  (%+.1f%%)\n", ok ? "ok  " : "FAIL", key.c_str(),
+                base, *now, (ratio - 1.0) * 100.0);
+    if (!ok) ++regressions;
+  }
+  for (const auto& [key, rate] : fresh) {
+    if (find(baseline, key) == nullptr) {
+      std::printf("  new   %-28s %10.3g  (not in baseline; refresh with --update-baseline)\n",
+                  key.c_str(), rate);
+    }
+  }
+
+  if (!history_path.empty() && !append_history(history_path, fresh)) {
+    std::fprintf(stderr, "perf_gate: cannot append history to %s\n", history_path.c_str());
+    return 2;
+  }
+
+  if (regressions != 0) {
+    std::printf("perf_gate: %d metric(s) regressed more than %.0f%% below baseline\n",
+                regressions, threshold * 100.0);
+    return 1;
+  }
+  std::printf("perf_gate: all metrics within %.0f%% of baseline\n", threshold * 100.0);
+  return 0;
+}
