@@ -9,7 +9,8 @@
 //     "des_chain_events_per_sec":  ...,   // serial event chain
 //     "des_fanout_events_per_sec": ...,   // wide pre-scheduled fan-out
 //     "engine_runs_per_sec":       ...,   // UMR runs under 30% error
-//     "engine_events_per_sec":     ...    // DES events inside those runs
+//     "engine_events_per_sec":     ...,   // DES events inside those runs
+//     "jobs_per_sec":              ...    // open-system jobs served end to end
 //   }
 //
 // CI archives the file per commit; regression tooling diffs it. Numbers are
@@ -98,6 +99,31 @@ EngineRates engine_rates() {
   return {static_cast<double>(kRuns) / elapsed, static_cast<double>(events) / elapsed};
 }
 
+/// Open-system throughput: jobs served end to end (arrival -> departure) by
+/// the multi-job engine under fractional sharing at 70% offered load — the
+/// unit of work of an open-system sweep point.
+double jobs_per_sec() {
+  constexpr int kRounds = 10;
+  constexpr std::size_t kJobsPerRound = 40;
+  const platform::StarPlatform p = platform::StarPlatform::homogeneous(
+      {.workers = 10, .speed = 1.0, .bandwidth = 15.0, .comp_latency = 0.2,
+       .comm_latency = 0.1});
+  std::size_t completed = 0;
+  const auto start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    jobs::JobsOptions options;
+    options.sharing = jobs::SharingPolicy::kFractional;
+    options.stream = jobs::JobStreamSpec::poisson(
+        jobs::JobStreamSpec::rate_for_load(p, 0.7, 300.0), kJobsPerRound, 300.0);
+    options.stream.size_dist = jobs::SizeDistribution::kUniform;
+    options.stream.size_spread = 0.4;
+    options.known_error = 0.2;
+    options.sim = sim::SimOptions::with_error(0.2, static_cast<std::uint64_t>(round + 1));
+    completed += jobs::run_jobs(p, options).completed;
+  }
+  return static_cast<double>(completed) / seconds_since(start);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +132,7 @@ int main(int argc, char** argv) {
   const double chain = des_chain_events_per_sec();
   const double fanout = des_fanout_events_per_sec();
   const EngineRates engine = engine_rates();
+  const double jobs_rate = jobs_per_sec();
 
   std::error_code ec;
   std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
@@ -118,7 +145,8 @@ int main(int argc, char** argv) {
       << "  \"des_chain_events_per_sec\": " << chain << ",\n"
       << "  \"des_fanout_events_per_sec\": " << fanout << ",\n"
       << "  \"engine_runs_per_sec\": " << engine.runs_per_sec << ",\n"
-      << "  \"engine_events_per_sec\": " << engine.events_per_sec << "\n"
+      << "  \"engine_events_per_sec\": " << engine.events_per_sec << ",\n"
+      << "  \"jobs_per_sec\": " << jobs_rate << "\n"
       << "}\n";
   out.close();
 
@@ -126,6 +154,7 @@ int main(int argc, char** argv) {
   std::printf("DES fanout: %.3g events/s\n", fanout);
   std::printf("engine    : %.3g runs/s, %.3g events/s\n", engine.runs_per_sec,
               engine.events_per_sec);
+  std::printf("jobs      : %.3g jobs/s\n", jobs_rate);
   std::printf("written to %s\n", path);
   return 0;
 }

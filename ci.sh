@@ -2,7 +2,8 @@
 # CI driver: builds and tests every correctness configuration.
 #
 #   ./ci.sh            all stages
-#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | metrics | perf
+#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | metrics |
+#                      jobs | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
@@ -14,6 +15,9 @@
 #   metrics     self-auditing observability demo (tools/metrics_demo) under
 #               the release and asan-ubsan presets; every scenario's metrics
 #               must satisfy the check:: identity audits
+#   jobs        multi-job open-system demo (tools/jobs_demo) under the release
+#               and asan-ubsan presets; every run must pass
+#               check::audit_service_result and drain its admitted jobs
 #   perf        fresh bench_perf_json snapshot (results/BENCH_des.json) gated
 #               by tools/perf_gate against the checked-in
 #               results/BENCH_baseline.json: any rate more than 20% below
@@ -28,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy metrics perf}")
+STAGES=("${@:-release asan-ubsan tsan tidy metrics jobs perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -37,9 +41,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|metrics|perf) ;;
+    release|asan-ubsan|tsan|tidy|metrics|jobs|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | metrics | perf)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | metrics | jobs | perf)" >&2
       exit 2
       ;;
   esac
@@ -100,6 +104,17 @@ for stage in "${STAGES[@]}"; do
         "./build/$preset/tools/metrics_demo"
       done
       ;;
+    jobs)
+      # The demo exits nonzero when any open-system run fails its service
+      # audit or strands admitted jobs, so this is a real gate too.
+      for preset in release asan-ubsan; do
+        banner "configure+build jobs_demo [$preset]"
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target jobs_demo
+        banner "jobs demo [$preset]"
+        "./build/$preset/tools/jobs_demo"
+      done
+      ;;
     perf)
       banner "configure+build perf gate [release]"
       cmake --preset release
@@ -111,7 +126,7 @@ for stage in "${STAGES[@]}"; do
         --threshold 0.20 --history results/BENCH_history.jsonl
       ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|metrics|perf)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|metrics|jobs|perf)" >&2
       exit 2
       ;;
   esac

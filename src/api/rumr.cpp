@@ -102,4 +102,128 @@ std::vector<RunResult> Run::execute_all() const {
   return results;
 }
 
+JobsRun Run::jobs() const {
+  JobsRun jobs_run;
+  jobs_run.platform_ = desc_.platform;
+  jobs_run.options_.algorithm = desc_.algorithm;
+  jobs_run.options_.known_error = desc_.known_error;
+  jobs_run.options_.sim = desc_.sim_options;
+  jobs_run.audit_ = audit_;
+  return jobs_run;
+}
+
+JobsRun::JobsRun()
+    : platform_(platform::StarPlatform::homogeneous(platform::HomogeneousParams{})) {}
+
+JobsRun JobsRun::from_file(const std::string& path) {
+  JobsRun run;
+  jobs::JobsDescription description =
+      jobs::jobs_from_config(config::ConfigFile::load(path));
+  run.platform_ = std::move(description.platform);
+  run.options_ = std::move(description.options);
+  return run;
+}
+
+JobsRun& JobsRun::platform(platform::StarPlatform p) {
+  platform_ = std::move(p);
+  return *this;
+}
+
+JobsRun& JobsRun::stream(jobs::JobStreamSpec spec) {
+  options_.stream = std::move(spec);
+  pending_load_ = 0.0;
+  return *this;
+}
+
+JobsRun& JobsRun::poisson(double arrival_rate, std::size_t num_jobs, double mean_size) {
+  options_.stream = jobs::JobStreamSpec::poisson(arrival_rate, num_jobs, mean_size);
+  pending_load_ = 0.0;
+  return *this;
+}
+
+JobsRun& JobsRun::poisson_load(double load, std::size_t num_jobs, double mean_size) {
+  options_.stream = jobs::JobStreamSpec::poisson(1.0, num_jobs, mean_size);
+  pending_load_ = load;
+  return *this;
+}
+
+JobsRun& JobsRun::sharing(jobs::SharingPolicy policy) {
+  options_.sharing = policy;
+  return *this;
+}
+
+JobsRun& JobsRun::partitions(std::size_t count) {
+  options_.partitions = count;
+  return *this;
+}
+
+JobsRun& JobsRun::max_degree(std::size_t cap) {
+  options_.max_degree = cap;
+  return *this;
+}
+
+JobsRun& JobsRun::discipline(jobs::QueueDiscipline discipline) {
+  options_.discipline = discipline;
+  return *this;
+}
+
+JobsRun& JobsRun::admission(jobs::AdmissionPolicy policy) {
+  options_.admission = policy;
+  return *this;
+}
+
+JobsRun& JobsRun::queue_capacity(std::size_t capacity) {
+  options_.queue_capacity = capacity;
+  return *this;
+}
+
+JobsRun& JobsRun::algorithm(std::string name) {
+  options_.algorithm = std::move(name);
+  return *this;
+}
+
+JobsRun& JobsRun::known_error(double e) {
+  options_.known_error = e;
+  return *this;
+}
+
+JobsRun& JobsRun::error(double e) {
+  options_.sim.comm_error = stats::ErrorModel::truncated_normal(e);
+  options_.sim.comp_error = stats::ErrorModel::truncated_normal(e);
+  return *this;
+}
+
+JobsRun& JobsRun::seed(std::uint64_t s) {
+  options_.sim.seed = s;
+  return *this;
+}
+
+JobsRun& JobsRun::record_trace(bool on) {
+  options_.record_trace = on;
+  return *this;
+}
+
+JobsRun& JobsRun::sim_options(sim::SimOptions options) {
+  options_.sim = std::move(options);
+  return *this;
+}
+
+JobsRun& JobsRun::audit(bool on) {
+  audit_ = on;
+  return *this;
+}
+
+jobs::ServiceResult JobsRun::execute() const {
+  jobs::JobsOptions options = options_;
+  if (pending_load_ > 0.0) {
+    options.stream.arrival_rate = jobs::JobStreamSpec::rate_for_load(
+        platform_, pending_load_, options.stream.mean_size);
+  }
+  jobs::ServiceResult result = jobs::run_jobs(platform_, options);
+  if (audit_) {
+    check::audit_service_result(result, platform_, options).throw_if_failed();
+  }
+  return result;
+}
+
 }  // namespace rumr

@@ -38,16 +38,21 @@
 #include "baselines/multi_installment.hpp"
 #include "baselines/static_sequence.hpp"
 #include "check/des_audit.hpp"
+#include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "config/run_description.hpp"
 #include "core/adaptive_rumr.hpp"
 #include "core/rumr.hpp"
 #include "core/umr.hpp"
 #include "core/umr_policy.hpp"
+#include "jobs/job_manager.hpp"
+#include "jobs/job_stream.hpp"
+#include "jobs/jobs_config.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/csv.hpp"
+#include "report/jobs_io.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"
 #include "sim/master_worker.hpp"
@@ -117,6 +122,11 @@ class Run {
   [[nodiscard]] const config::RunDescription& description() const noexcept { return desc_; }
   [[nodiscard]] config::RunDescription& description() noexcept { return desc_; }
 
+  /// Opens this run's workload into a multi-job stream: a JobsRun seeded
+  /// with the same platform, per-job scheduler algorithm, known error, and
+  /// engine options. Configure arrivals and sharing on the returned builder.
+  [[nodiscard]] class JobsRun jobs() const;
+
   // Execution --------------------------------------------------------------
 
   /// Executes one repetition (the description's seed) and returns it.
@@ -134,6 +144,83 @@ class Run {
 
   config::RunDescription desc_;
   bool record_trace_ = false;
+  bool audit_ = true;
+};
+
+/// Builder for a multi-job open-system run (jobs::run_jobs under the hood).
+///
+///   rumr::jobs::ServiceResult r = rumr::Run()
+///                                     .platform(cluster)
+///                                     .algorithm("rumr")
+///                                     .jobs()
+///                                     .poisson_load(0.7, 100, 300.0)
+///                                     .sharing(rumr::jobs::SharingPolicy::kFractional)
+///                                     .execute();
+///   std::printf("mean slowdown %.2f\n", r.mean_slowdown());
+///
+/// Like Run, every execute() self-audits — check::audit_service_result
+/// verifies the counter ledger, per-job work conservation, share
+/// disjointness, and Little's law; a violation raises check::CheckError.
+/// Disable with .audit(false).
+class JobsRun {
+ public:
+  /// Starts from the library defaults: the paper's Table-1 homogeneous
+  /// 10-worker platform, exclusive sharing, FCFS, an unbounded queue, and a
+  /// 100-job Poisson stream.
+  JobsRun();
+
+  /// Loads a [jobs] description file (see jobs/jobs_config.hpp for the
+  /// schema). Throws config::ConfigError on parse or validation problems.
+  [[nodiscard]] static JobsRun from_file(const std::string& path);
+
+  // Fluent setters ---------------------------------------------------------
+
+  JobsRun& platform(platform::StarPlatform p);
+  /// Replaces the arrival process wholesale.
+  JobsRun& stream(jobs::JobStreamSpec spec);
+  /// Poisson arrivals at an explicit rate (jobs/s).
+  JobsRun& poisson(double arrival_rate, std::size_t num_jobs, double mean_size);
+  /// Poisson arrivals offering `load` (fraction of the platform's aggregate
+  /// compute capacity, e.g. 0.7). The rate is derived from the platform at
+  /// execute() time, so it tracks later platform() calls.
+  JobsRun& poisson_load(double load, std::size_t num_jobs, double mean_size);
+  JobsRun& sharing(jobs::SharingPolicy policy);
+  JobsRun& partitions(std::size_t count);
+  JobsRun& max_degree(std::size_t cap);
+  JobsRun& discipline(jobs::QueueDiscipline discipline);
+  JobsRun& admission(jobs::AdmissionPolicy policy);
+  JobsRun& queue_capacity(std::size_t capacity);
+  /// Per-job scheduler run on each worker share (same vocabulary as
+  /// Run::algorithm).
+  JobsRun& algorithm(std::string name);
+  JobsRun& known_error(double e);
+  /// Actual prediction-error level inside every service oracle run.
+  JobsRun& error(double e);
+  JobsRun& seed(std::uint64_t s);
+  JobsRun& record_trace(bool on = true);
+  /// Replaces the inner-engine option block (fault injection, buffering,
+  /// output model, ...).
+  JobsRun& sim_options(sim::SimOptions options);
+  /// Self-audit with check::audit_service_result (default on).
+  JobsRun& audit(bool on = true);
+
+  /// The underlying options, for inspection or direct mutation.
+  [[nodiscard]] const jobs::JobsOptions& options() const noexcept { return options_; }
+  [[nodiscard]] jobs::JobsOptions& options() noexcept { return options_; }
+
+  // Execution --------------------------------------------------------------
+
+  /// Runs the open system to drain. Throws std::invalid_argument on
+  /// non-validating options, sim::SimError from inner engine runs, and
+  /// check::CheckError on an audit violation.
+  [[nodiscard]] jobs::ServiceResult execute() const;
+
+ private:
+  friend class Run;
+
+  platform::StarPlatform platform_;
+  jobs::JobsOptions options_{};
+  double pending_load_ = 0.0;  ///< poisson_load() fraction; 0 = explicit rate.
   bool audit_ = true;
 };
 

@@ -1,0 +1,215 @@
+#include "check/service_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace rumr::check {
+
+namespace {
+
+bool close_rel(double a, double b, double rel) {
+  return std::abs(a - b) <= rel * std::max({std::abs(a), std::abs(b), 1.0});
+}
+
+/// One segment flattened for the disjointness scan.
+struct FlatSegment {
+  std::size_t job;
+  const jobs::ServiceSegment* seg;
+};
+
+}  // namespace
+
+AuditReport audit_service_result(const jobs::ServiceResult& result,
+                                 const platform::StarPlatform& platform,
+                                 const jobs::JobsOptions& options,
+                                 const ServiceAuditOptions& audit) {
+  AuditReport report;
+  const auto violate = [&report](const auto&... parts) {
+    std::ostringstream out;
+    (out << ... << parts);
+    report.violations.push_back(out.str());
+  };
+  const double rel = audit.work_tolerance;
+  const double slack = audit.time_tolerance;
+
+  // --- counter ledger ------------------------------------------------------
+  if (result.arrived != result.jobs.size()) {
+    violate("arrived counter ", result.arrived, " != recorded jobs ", result.jobs.size());
+  }
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t completed = 0;
+  for (const jobs::JobOutcome& job : result.jobs) {
+    const int states = (job.rejected ? 1 : 0) + (job.shed ? 1 : 0) + (job.completed ? 1 : 0);
+    if (states != 1) {
+      violate("job ", job.id, " has ", states,
+              " terminal states (expected exactly one of rejected/shed/completed)");
+    }
+    rejected += job.rejected ? 1 : 0;
+    shed += job.shed ? 1 : 0;
+    completed += job.completed ? 1 : 0;
+  }
+  if (rejected != result.rejected) {
+    violate("rejected counter ", result.rejected, " != per-job flags ", rejected);
+  }
+  if (shed != result.shed) violate("shed counter ", result.shed, " != per-job flags ", shed);
+  if (completed != result.completed) {
+    violate("completed counter ", result.completed, " != per-job flags ", completed);
+  }
+  if (result.admitted != result.arrived - result.rejected) {
+    violate("admitted ", result.admitted, " != arrived - rejected ",
+            result.arrived - result.rejected);
+  }
+  if (result.admitted != result.completed + result.shed) {
+    violate("run did not drain: admitted ", result.admitted, " != completed + shed ",
+            result.completed + result.shed);
+  }
+
+  // --- per-job timeline, work conservation, and segments -------------------
+  double residence = 0.0;     // Sum of (departure - arrival), admitted jobs.
+  double total_work = 0.0;    // Sum of sizes over completed jobs.
+  double arrived_work = 0.0;  // Sum of sizes over all arrived jobs.
+  double share_time = 0.0;    // Worker-seconds across all segments.
+  std::vector<FlatSegment> flat;
+  for (const jobs::JobOutcome& job : result.jobs) {
+    arrived_work += job.size;
+    if (job.rejected) {
+      if (!job.segments.empty()) violate("rejected job ", job.id, " holds service segments");
+      if (job.departure != job.arrival) {
+        violate("rejected job ", job.id, " departure != arrival");
+      }
+      continue;
+    }
+    residence += job.departure - job.arrival;
+    if (job.departure + slack < job.arrival) {
+      violate("job ", job.id, " departs before it arrives");
+    }
+    if (job.completed) {
+      total_work += job.size;
+      if (job.start + slack < job.arrival) violate("job ", job.id, " starts before arrival");
+      if (job.departure + slack < job.start) violate("job ", job.id, " departs before start");
+      if (!close_rel(job.queue_wait + job.service_time, job.response, rel)) {
+        violate("job ", job.id, ": queue_wait ", job.queue_wait, " + service ",
+                job.service_time, " != response ", job.response);
+      }
+      if (!close_rel(job.work_done, job.size, rel)) {
+        violate("job ", job.id, ": work_done ", job.work_done, " != size ", job.size);
+      }
+      if (job.best_service > 0.0 && !close_rel(job.slowdown * job.best_service, job.response, rel)) {
+        violate("job ", job.id, ": slowdown ", job.slowdown,
+                " inconsistent with response / best_service");
+      }
+      if (job.segments.empty()) violate("completed job ", job.id, " has no segments");
+    }
+    double seg_work = 0.0;
+    for (const jobs::ServiceSegment& seg : job.segments) {
+      seg_work += seg.work;
+      share_time += static_cast<double>(seg.num_workers) * (seg.end - seg.begin);
+      flat.push_back({job.id, &seg});
+      if (seg.end + slack < seg.begin) {
+        violate("job ", job.id, " segment runs backwards: [", seg.begin, ", ", seg.end, ")");
+      }
+      if (seg.begin + slack < job.start || seg.end > job.departure + slack) {
+        violate("job ", job.id, " segment [", seg.begin, ", ", seg.end,
+                ") escapes service window [", job.start, ", ", job.departure, ")");
+      }
+      if (seg.end > result.horizon + slack) {
+        violate("job ", job.id, " segment ends past the horizon");
+      }
+      if (seg.num_workers == 0) violate("job ", job.id, " segment holds zero workers");
+      if (seg.first_worker + seg.num_workers > platform.size()) {
+        violate("job ", job.id, " segment share [", seg.first_worker, ", ",
+                seg.first_worker + seg.num_workers, ") exceeds the platform's ",
+                platform.size(), " workers");
+      }
+      if (seg.work < -slack) violate("job ", job.id, " segment did negative work");
+    }
+    if (!job.segments.empty() && !close_rel(seg_work, job.work_done, rel)) {
+      violate("job ", job.id, ": segment work ", seg_work, " != work_done ", job.work_done);
+    }
+  }
+
+  // --- share disjointness --------------------------------------------------
+  // Sorted by begin, a pairwise scan only compares time-overlapping spans.
+  std::sort(flat.begin(), flat.end(), [](const FlatSegment& a, const FlatSegment& b) {
+    return a.seg->begin < b.seg->begin;
+  });
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    for (std::size_t j = i + 1; j < flat.size(); ++j) {
+      const jobs::ServiceSegment& a = *flat[i].seg;
+      const jobs::ServiceSegment& b = *flat[j].seg;
+      if (b.begin >= a.end - slack) break;  // No later segment overlaps `a` either.
+      if (flat[i].job == flat[j].job) continue;
+      const std::size_t lo = std::max(a.first_worker, b.first_worker);
+      const std::size_t hi =
+          std::min(a.first_worker + a.num_workers, b.first_worker + b.num_workers);
+      if (lo < hi) {
+        violate("jobs ", flat[i].job, " and ", flat[j].job, " share worker ", lo,
+                " simultaneously around t=", b.begin);
+      }
+    }
+  }
+
+  // --- Little's law and derived aggregates ---------------------------------
+  if (!close_rel(result.area_jobs_in_system, residence, rel)) {
+    violate("Little's law broken: integral of N(t) = ", result.area_jobs_in_system,
+            " but total residence time = ", residence);
+  }
+  if (!close_rel(result.total_work, total_work, rel)) {
+    violate("total_work ", result.total_work, " != completed sizes ", total_work);
+  }
+  if (!close_rel(result.share_time, share_time, rel)) {
+    violate("share_time ", result.share_time, " != segment worker-seconds ", share_time);
+  }
+  if (result.horizon > 0.0) {
+    const double capacity = platform.total_speed() * result.horizon;
+    if (capacity > 0.0 && !close_rel(result.utilization, total_work / capacity, rel)) {
+      violate("utilization ", result.utilization, " does not recompute");
+    }
+    if (capacity > 0.0 && !close_rel(result.offered_load, arrived_work / capacity, rel)) {
+      violate("offered_load ", result.offered_load, " does not recompute");
+    }
+    const double share_util =
+        share_time / (static_cast<double>(platform.size()) * result.horizon);
+    if (!close_rel(result.share_utilization, share_util, rel)) {
+      violate("share_utilization ", result.share_utilization, " does not recompute");
+    }
+    if (result.share_utilization > 1.0 + rel) {
+      violate("share_utilization ", result.share_utilization, " exceeds 1");
+    }
+  }
+
+  // --- obs ledger ----------------------------------------------------------
+  const obs::JobsStats& stats = result.stats;
+  if (stats.arrived != result.arrived || stats.admitted != result.admitted ||
+      stats.rejected != result.rejected || stats.shed != result.shed ||
+      stats.completed != result.completed) {
+    violate("obs::JobsStats counters disagree with the result counters");
+  }
+  if (stats.job_sizes.total() != result.arrived) {
+    violate("job_sizes histogram holds ", stats.job_sizes.total(), " samples, expected ",
+            result.arrived);
+  }
+  const std::pair<const obs::Histogram*, const char*> per_completed[] = {
+      {&stats.response_times, "response_times"},
+      {&stats.slowdowns, "slowdowns"},
+      {&stats.queue_waits, "queue_waits"},
+  };
+  for (const auto& [histogram, name] : per_completed) {
+    if (histogram->total() != result.completed) {
+      violate(name, " histogram holds ", histogram->total(), " samples, expected ",
+              result.completed);
+    }
+  }
+
+  // An unbounded queue admits everything; losses prove an accounting bug.
+  if (options.queue_capacity == SIZE_MAX && (result.rejected > 0 || result.shed > 0)) {
+    violate("unbounded queue rejected or shed jobs");
+  }
+
+  return report;
+}
+
+}  // namespace rumr::check

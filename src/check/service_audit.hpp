@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file service_audit.hpp
+/// Post-hoc invariant auditor for multi-job open-system results.
+///
+/// Consumes a jobs::ServiceResult and verifies the queueing-theoretic and
+/// physical identities the engine promises:
+///
+///   - counter ledger: every arrived job is exactly one of rejected, shed, or
+///     completed (the run drains), and the aggregate counters match the
+///     per-job flags and the obs::JobsStats record;
+///   - per-job timeline: arrival <= start <= departure, and
+///     queue_wait + service_time == response for completed jobs;
+///   - per-job work conservation: segment work sums to work_done, and
+///     work_done == size for completed jobs;
+///   - segment sanity: every segment lies in [start, departure] x [0, horizon]
+///     with a non-empty worker share inside the platform;
+///   - share disjointness: no two service segments of different jobs ever
+///     overlap in both time and workers (partitions really are partitions);
+///   - Little's law, exactly: the engine's incrementally-integrated
+///     area_jobs_in_system equals the sum of (departure - arrival) over
+///     admitted jobs — N(t) counted by integration must agree with the same
+///     quantity counted per job;
+///   - derived aggregates: total_work, share_time, utilization,
+///     share_utilization, and offered_load recompute from the per-job data;
+///   - histogram ledger: each service-metric histogram holds exactly one
+///     sample per relevant job.
+
+#include "check/des_audit.hpp"
+#include "jobs/job_manager.hpp"
+#include "platform/platform.hpp"
+
+namespace rumr::check {
+
+/// Tolerances for the floating-point comparisons.
+struct ServiceAuditOptions {
+  /// Relative tolerance for work and long-sum identities (Little's law).
+  double work_tolerance = 1e-6;
+  /// Absolute slack for pointwise time comparisons.
+  double time_tolerance = 1e-9;
+};
+
+/// Audits one finished open-system run. Returns the collected violations;
+/// empty means every identity held.
+[[nodiscard]] AuditReport audit_service_result(const jobs::ServiceResult& result,
+                                               const platform::StarPlatform& platform,
+                                               const jobs::JobsOptions& options,
+                                               const ServiceAuditOptions& audit = {});
+
+}  // namespace rumr::check

@@ -109,7 +109,10 @@ double ConfigFile::get_double(const std::string& section, const std::string& key
 
 std::size_t ConfigFile::get_size(const std::string& section, const std::string& key,
                                  std::size_t fallback) const {
-  const double value = get_double(section, key, static_cast<double>(fallback));
+  // Return an absent key's fallback directly: a double round-trip would
+  // corrupt values above 2^53 (e.g. a SIZE_MAX "unbounded" sentinel).
+  if (!get(section, key)) return fallback;
+  const double value = get_double(section, key, 0.0);
   if (value < 0.0) throw ConfigError("[" + section + "] " + key + ": must be non-negative");
   return static_cast<std::size_t>(value);
 }

@@ -61,6 +61,44 @@ platform::StarPlatform platform_from_config(const ConfigFile& file) {
   }
 }
 
+sim::SimOptions sim_options_from_config(const ConfigFile& file) {
+  sim::SimOptions options;
+  const double actual_error = file.get_double("simulation", "error", 0.0);
+  const std::string distribution = file.get_string("simulation", "distribution", "normal");
+  stats::ErrorModel model;
+  if (distribution == "normal") {
+    model = stats::ErrorModel::truncated_normal(actual_error);
+  } else if (distribution == "uniform") {
+    model = stats::ErrorModel::uniform(actual_error);
+  } else {
+    throw ConfigError("[simulation] distribution must be 'normal' or 'uniform'");
+  }
+  options.comm_error = model;
+  options.comp_error = model;
+  options.seed = static_cast<std::uint64_t>(file.get_size("simulation", "seed", 1));
+  options.output_ratio = file.get_double("simulation", "output_ratio", 0.0);
+  options.uplink_channels = file.get_size("simulation", "uplink_channels", 1);
+
+  const std::string fault_model = file.get_string("faults", "model", "none");
+  if (fault_model == "fail-stop") {
+    options.faults = faults::FaultSpec::fail_stop(
+        file.get_double("faults", "mtbf", 1.0e9),
+        file.get_double("faults", "fail_probability", 1.0));
+  } else if (fault_model == "transient") {
+    options.faults = faults::FaultSpec::transient(
+        file.get_double("faults", "mtbf", 1.0e9), file.get_double("faults", "mttr", 10.0));
+  } else if (fault_model != "none") {
+    throw ConfigError("[faults] model must be 'none', 'fail-stop', or 'transient'");
+  }
+  auto& tolerance = options.fault_tolerance;
+  tolerance.timeout_slack = file.get_double("faults", "timeout_slack", tolerance.timeout_slack);
+  tolerance.backoff_base = file.get_double("faults", "backoff_base", tolerance.backoff_base);
+  tolerance.backoff_factor =
+      file.get_double("faults", "backoff_factor", tolerance.backoff_factor);
+  tolerance.backoff_max = file.get_double("faults", "backoff_max", tolerance.backoff_max);
+  return options;
+}
+
 RunDescription run_from_config(const ConfigFile& file) {
   RunDescription run{platform_from_config(file)};
   run.w_total = file.require_double("workload", "total");
@@ -72,72 +110,43 @@ RunDescription run_from_config(const ConfigFile& file) {
   run.known_error = file.get_double("schedule", "error",
                                     file.get_double("simulation", "error", 0.0));
 
-  const double actual_error = file.get_double("simulation", "error", 0.0);
-  const std::string distribution = file.get_string("simulation", "distribution", "normal");
-  stats::ErrorModel model;
-  if (distribution == "normal") {
-    model = stats::ErrorModel::truncated_normal(actual_error);
-  } else if (distribution == "uniform") {
-    model = stats::ErrorModel::uniform(actual_error);
-  } else {
-    throw ConfigError("[simulation] distribution must be 'normal' or 'uniform'");
-  }
-  run.sim_options.comm_error = model;
-  run.sim_options.comp_error = model;
-  run.sim_options.seed = static_cast<std::uint64_t>(file.get_size("simulation", "seed", 1));
-  run.sim_options.output_ratio = file.get_double("simulation", "output_ratio", 0.0);
-  run.sim_options.uplink_channels = file.get_size("simulation", "uplink_channels", 1);
+  run.sim_options = sim_options_from_config(file);
   run.repetitions = std::max<std::size_t>(1, file.get_size("simulation", "repetitions", 1));
-
-  const std::string fault_model = file.get_string("faults", "model", "none");
-  if (fault_model == "fail-stop") {
-    run.sim_options.faults = faults::FaultSpec::fail_stop(
-        file.get_double("faults", "mtbf", 1.0e9),
-        file.get_double("faults", "fail_probability", 1.0));
-  } else if (fault_model == "transient") {
-    run.sim_options.faults = faults::FaultSpec::transient(
-        file.get_double("faults", "mtbf", 1.0e9), file.get_double("faults", "mttr", 10.0));
-  } else if (fault_model != "none") {
-    throw ConfigError("[faults] model must be 'none', 'fail-stop', or 'transient'");
-  }
-  auto& tolerance = run.sim_options.fault_tolerance;
-  tolerance.timeout_slack = file.get_double("faults", "timeout_slack", tolerance.timeout_slack);
-  tolerance.backoff_base = file.get_double("faults", "backoff_base", tolerance.backoff_base);
-  tolerance.backoff_factor =
-      file.get_double("faults", "backoff_factor", tolerance.backoff_factor);
-  tolerance.backoff_max = file.get_double("faults", "backoff_max", tolerance.backoff_max);
   return run;
 }
 
 std::unique_ptr<sim::SchedulerPolicy> make_policy(const RunDescription& run) {
-  const std::string& name = run.algorithm;
+  return make_policy(run.algorithm, run.platform, run.w_total, run.known_error);
+}
+
+std::unique_ptr<sim::SchedulerPolicy> make_policy(const std::string& name,
+                                                  const platform::StarPlatform& platform,
+                                                  double w_total, double known_error) {
   if (name == "rumr") {
     core::RumrOptions options;
-    options.known_error = run.known_error;
-    return std::make_unique<core::RumrPolicy>(run.platform, run.w_total, std::move(options));
+    options.known_error = known_error;
+    return std::make_unique<core::RumrPolicy>(platform, w_total, std::move(options));
   }
   if (name == "rumr-adaptive") {
-    return std::make_unique<core::AdaptiveRumrPolicy>(run.platform, run.w_total);
+    return std::make_unique<core::AdaptiveRumrPolicy>(platform, w_total);
   }
   if (name == "umr") {
-    return std::make_unique<core::UmrPolicy>(run.platform, run.w_total,
-                                             core::DispatchOrder::kTimetable);
+    return std::make_unique<core::UmrPolicy>(platform, w_total, core::DispatchOrder::kTimetable);
   }
   if (name == "umr-eager") {
-    return std::make_unique<core::UmrPolicy>(run.platform, run.w_total,
-                                             core::DispatchOrder::kInOrder);
+    return std::make_unique<core::UmrPolicy>(platform, w_total, core::DispatchOrder::kInOrder);
   }
   if (name.rfind("mi-", 0) == 0) {
     const std::size_t installments = static_cast<std::size_t>(
         std::strtoull(name.c_str() + 3, nullptr, 10));
     if (installments == 0) throw ConfigError("bad MI installment count in: " + name);
-    return baselines::make_mi_policy(run.platform, run.w_total, installments);
+    return baselines::make_mi_policy(platform, w_total, installments);
   }
-  if (name == "factoring") return baselines::make_factoring_policy(run.platform, run.w_total);
-  if (name == "wf") return baselines::make_weighted_factoring_policy(run.platform, run.w_total);
-  if (name == "gss") return baselines::make_gss_policy(run.platform, run.w_total);
-  if (name == "tss") return baselines::make_tss_policy(run.platform, run.w_total);
-  if (name == "fsc") return baselines::make_fsc_policy(run.platform, run.w_total, run.known_error);
+  if (name == "factoring") return baselines::make_factoring_policy(platform, w_total);
+  if (name == "wf") return baselines::make_weighted_factoring_policy(platform, w_total);
+  if (name == "gss") return baselines::make_gss_policy(platform, w_total);
+  if (name == "tss") return baselines::make_tss_policy(platform, w_total);
+  if (name == "fsc") return baselines::make_fsc_policy(platform, w_total, known_error);
   throw ConfigError("unknown algorithm: " + name);
 }
 

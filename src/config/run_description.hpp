@@ -67,11 +67,24 @@ struct RunDescription {
 /// ConfigError on invalid or missing description.
 [[nodiscard]] platform::StarPlatform platform_from_config(const ConfigFile& file);
 
+/// Parses just the inner-engine options from the [simulation] and [faults]
+/// sections (shared by single-job runs and the multi-job engine). Throws
+/// ConfigError on problems.
+[[nodiscard]] sim::SimOptions sim_options_from_config(const ConfigFile& file);
+
 /// Parses the full run description. Throws ConfigError on problems.
 [[nodiscard]] RunDescription run_from_config(const ConfigFile& file);
 
 /// Instantiates the described scheduling policy for the description's
 /// platform and workload. Throws ConfigError for unknown algorithm names.
 [[nodiscard]] std::unique_ptr<sim::SchedulerPolicy> make_policy(const RunDescription& run);
+
+/// Name-based variant: instantiates algorithm `name` (lower-case, same
+/// vocabulary as [schedule] algorithm) for an arbitrary platform/workload.
+/// The multi-job engine uses this to build a per-job scheduler over each
+/// job's worker share. Throws ConfigError for unknown algorithm names.
+[[nodiscard]] std::unique_ptr<sim::SchedulerPolicy> make_policy(
+    const std::string& name, const platform::StarPlatform& platform, double w_total,
+    double known_error);
 
 }  // namespace rumr::config

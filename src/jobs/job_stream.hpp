@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file job_stream.hpp
+/// Open-system workload generators for the multi-job engine.
+///
+/// The paper simulates exactly one divisible job per run. An open system —
+/// the setting of the multi-job divisible-load literature (Gallet, Robert &
+/// Vivien) and the batch-vs-fractional sharing comparison (Casanova,
+/// Stillwell & Vivien) — needs jobs *arriving over time*: a JobStream emits
+/// a deterministic sequence of jobs, each with an arrival time, a divisible
+/// workload size, and a latency-sensitivity weight.
+///
+/// Determinism contract (same as faults::FaultTimeline): a stream is a pure
+/// function of (spec, seed). Jobs are generated lazily and sequentially, and
+/// every job consumes a fixed number of RNG draws in a fixed order, so two
+/// identically-seeded streams replay byte-identically regardless of how the
+/// consuming engine interleaves its own events.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "platform/platform.hpp"
+#include "stats/rng.hpp"
+
+namespace rumr::jobs {
+
+/// One divisible job in the arrival stream.
+struct Job {
+  std::size_t id = 0;          ///< Stream position, assigned in arrival order.
+  des::SimTime arrival = 0.0;  ///< When the job enters the system.
+  double size = 0.0;           ///< Divisible workload, in workload units. > 0.
+  double weight = 1.0;         ///< Latency sensitivity (kPriority orders by it). >= 1.
+};
+
+/// How arrivals are produced.
+enum class ArrivalKind : std::uint8_t {
+  kPoisson,  ///< Exponential inter-arrival times at `arrival_rate` jobs/s.
+  kTrace,    ///< Explicit job list (tests, replayed production traces).
+};
+
+/// How per-job sizes are drawn.
+enum class SizeDistribution : std::uint8_t {
+  kFixed,        ///< Every job is exactly mean_size.
+  kUniform,      ///< Uniform in mean_size * [1 - spread, 1 + spread).
+  kExponential,  ///< Exp(mean_size), truncated below at 1e-3 * mean_size.
+};
+
+/// Declarative description of a job stream. Validated by JobStream.
+struct JobStreamSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+
+  /// kPoisson: mean arrival rate, jobs per second. Must be > 0.
+  double arrival_rate = 0.01;
+
+  /// Number of jobs the stream emits before ending (the run then drains).
+  /// Ignored by kTrace (the trace length governs). Must be > 0 for kPoisson.
+  std::size_t max_jobs = 100;
+
+  SizeDistribution size_dist = SizeDistribution::kFixed;
+  double mean_size = 1000.0;  ///< Mean workload units per job. > 0.
+  /// kUniform half-width as a fraction of mean_size; must lie in [0, 1).
+  double size_spread = 0.0;
+
+  /// Weights are drawn uniformly in [1, max_weight); 1 makes every job
+  /// equally latency-sensitive (and draws no RNG variation into ordering).
+  double max_weight = 1.0;
+
+  /// kTrace: the explicit jobs, in non-decreasing arrival order (ids are
+  /// reassigned to stream positions on emission).
+  std::vector<Job> trace;
+
+  /// Poisson arrival rate that offers `load` (fraction, e.g. 0.7) of the
+  /// platform's aggregate compute capacity: load * sum(S_i) / mean_size.
+  [[nodiscard]] static double rate_for_load(const platform::StarPlatform& platform, double load,
+                                            double mean_size);
+
+  [[nodiscard]] static JobStreamSpec poisson(double arrival_rate, std::size_t max_jobs,
+                                             double mean_size);
+  [[nodiscard]] static JobStreamSpec from_trace(std::vector<Job> trace);
+
+  /// Every problem with the spec, human-readable; empty means usable.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Lazy, deterministic job generator.
+class JobStream {
+ public:
+  JobStream() = default;
+
+  /// Throws std::invalid_argument listing every problem when the spec does
+  /// not validate.
+  JobStream(const JobStreamSpec& spec, std::uint64_t seed);
+
+  /// The next job in arrival order, or nullopt when the stream has ended.
+  [[nodiscard]] std::optional<Job> next();
+
+  /// Jobs emitted so far.
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+
+  /// Total jobs this stream will ever emit.
+  [[nodiscard]] std::size_t length() const noexcept {
+    return spec_.kind == ArrivalKind::kTrace ? spec_.trace.size() : spec_.max_jobs;
+  }
+
+  [[nodiscard]] const JobStreamSpec& spec() const noexcept { return spec_; }
+
+ private:
+  JobStreamSpec spec_{};
+  stats::Rng rng_{0};
+  std::size_t emitted_ = 0;
+  des::SimTime clock_ = 0.0;
+};
+
+}  // namespace rumr::jobs

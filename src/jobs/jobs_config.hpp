@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file jobs_config.hpp
+/// Configuration-file bridge for the multi-job engine.
+///
+/// Lives in jobs/ (not config/) so the config library stays free of a jobs
+/// dependency; the parsing reuses config::ConfigFile plus the shared
+/// [platform]/[simulation]/[faults] readers from config::run_description.
+///
+/// Schema (all keys optional; [platform] as in run_description.hpp):
+///
+///   [jobs]
+///   load = 0.7              ; offered load fraction; wins over arrival_rate
+///   arrival_rate = 0.05     ; jobs per second (used when load is absent)
+///   jobs = 100              ; stream length
+///   mean_size = 300
+///   size_distribution = fixed   ; fixed | uniform | exponential
+///   size_spread = 0.2       ; uniform half-width fraction
+///   max_weight = 1          ; >1 draws latency-sensitivity weights
+///   sharing = exclusive     ; exclusive | partitioned | fractional
+///   partitions = 2          ; partitioned only
+///   max_degree = 0          ; fractional concurrency cap (0 = workers)
+///   queue = fcfs            ; fcfs | sjf | priority
+///   admission = reject      ; reject | shed
+///   queue_capacity = 16     ; absent = unbounded
+///   record_trace = false
+///
+/// The per-job scheduler comes from [schedule] (algorithm, error) and the
+/// inner-engine settings from [simulation] / [faults], exactly as for
+/// single-job runs.
+
+#include "config/config_file.hpp"
+#include "jobs/job_manager.hpp"
+#include "platform/platform.hpp"
+
+namespace rumr::jobs {
+
+/// Everything needed to execute a described open-system run.
+struct JobsDescription {
+  platform::StarPlatform platform;
+  JobsOptions options{};
+};
+
+/// Parses the [jobs] section (plus [schedule]/[simulation]/[faults]) into
+/// engine options for the given platform. Throws config::ConfigError on bad
+/// enum values or missing requirements.
+[[nodiscard]] JobsOptions jobs_options_from_config(const config::ConfigFile& file,
+                                                   const platform::StarPlatform& platform);
+
+/// Parses platform + jobs options from one description file.
+[[nodiscard]] JobsDescription jobs_from_config(const config::ConfigFile& file);
+
+}  // namespace rumr::jobs

@@ -151,6 +151,22 @@ std::string to_json(const RunMetrics& m) {
   return out.str();
 }
 
+std::string to_json(const JobsStats& s) {
+  std::ostringstream out;
+  out << "{\"arrived\":" << s.arrived << ",\"admitted\":" << s.admitted
+      << ",\"rejected\":" << s.rejected << ",\"shed\":" << s.shed
+      << ",\"completed\":" << s.completed << ",\"response_times\":";
+  json_histogram(out, s.response_times);
+  out << ",\"slowdowns\":";
+  json_histogram(out, s.slowdowns);
+  out << ",\"queue_waits\":";
+  json_histogram(out, s.queue_waits);
+  out << ",\"job_sizes\":";
+  json_histogram(out, s.job_sizes);
+  out << "}";
+  return out.str();
+}
+
 namespace {
 
 void csv_row(std::ostream& out, const std::string& metric, double value) {

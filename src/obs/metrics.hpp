@@ -168,9 +168,29 @@ struct RunMetrics {
   FaultStats faults;
 };
 
+/// Service-level statistics for one open-system (multi-job) run, carried on
+/// jobs::ServiceResult. Counters cover the admission ledger; the histograms
+/// hold the per-job service metrics the sharing-policy comparisons plot.
+/// check::audit_service_result cross-checks every total against the per-job
+/// records.
+struct JobsStats {
+  std::size_t arrived = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t completed = 0;
+  Histogram response_times;  ///< departure - arrival, completed jobs.
+  Histogram slowdowns;       ///< response / best-alone service bound.
+  Histogram queue_waits;     ///< service start - arrival, completed jobs.
+  Histogram job_sizes;       ///< Workload units of every arrived job.
+};
+
 /// Serializes a RunMetrics as a single JSON object (stable key order, full
 /// precision, non-finite values as null — valid JSON always).
 [[nodiscard]] std::string to_json(const RunMetrics& metrics);
+
+/// Serializes a JobsStats the same way.
+[[nodiscard]] std::string to_json(const JobsStats& stats);
 
 /// Writes a RunMetrics as long-form `metric,value` CSV rows with a header.
 /// Per-worker metrics are emitted as `worker<i>.<metric>`.

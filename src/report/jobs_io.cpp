@@ -1,0 +1,107 @@
+#include "report/jobs_io.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rumr::report {
+
+namespace {
+
+void csv_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "nan";
+    return;
+  }
+  std::ostringstream text;
+  text.precision(17);
+  text << v;
+  out << text.str();
+}
+
+const char* job_state(const jobs::JobOutcome& job) {
+  if (job.rejected) return "rejected";
+  if (job.shed) return "shed";
+  if (job.completed) return "completed";
+  return "in-flight";
+}
+
+}  // namespace
+
+void write_jobs_csv(std::ostream& out, const jobs::ServiceResult& result) {
+  out << "id,arrival,size,weight,state,start,departure,queue_wait,service_time,"
+         "response,best_service,slowdown,work_done,segments\n";
+  for (const jobs::JobOutcome& job : result.jobs) {
+    out << job.id << ',';
+    csv_number(out, job.arrival);
+    out << ',';
+    csv_number(out, job.size);
+    out << ',';
+    csv_number(out, job.weight);
+    out << ',' << job_state(job) << ',';
+    csv_number(out, job.start);
+    out << ',';
+    csv_number(out, job.departure);
+    out << ',';
+    csv_number(out, job.queue_wait);
+    out << ',';
+    csv_number(out, job.service_time);
+    out << ',';
+    csv_number(out, job.response);
+    out << ',';
+    csv_number(out, job.best_service);
+    out << ',';
+    csv_number(out, job.slowdown);
+    out << ',';
+    csv_number(out, job.work_done);
+    out << ',' << job.segments.size() << '\n';
+  }
+}
+
+std::string jobs_csv(const jobs::ServiceResult& result) {
+  std::ostringstream out;
+  write_jobs_csv(out, result);
+  return out.str();
+}
+
+void write_jobs_summary_json(std::ostream& out, const jobs::ServiceResult& result) {
+  const auto field = [&out](const char* name, double v, bool last = false) {
+    out << '"' << name << "\":";
+    if (std::isfinite(v)) {
+      std::ostringstream text;
+      text.precision(17);
+      text << v;
+      out << text.str();
+    } else {
+      out << "null";
+    }
+    if (!last) out << ',';
+  };
+  out << '{';
+  out << "\"arrived\":" << result.arrived << ",\"admitted\":" << result.admitted
+      << ",\"rejected\":" << result.rejected << ",\"shed\":" << result.shed
+      << ",\"completed\":" << result.completed << ',';
+  field("horizon", result.horizon);
+  field("area_jobs_in_system", result.area_jobs_in_system);
+  field("total_work", result.total_work);
+  field("share_time", result.share_time);
+  field("utilization", result.utilization);
+  field("share_utilization", result.share_utilization);
+  field("offered_load", result.offered_load);
+  field("mean_response", result.mean_response());
+  field("mean_slowdown", result.mean_slowdown());
+  field("mean_queue_wait", result.mean_queue_wait());
+  out << "\"manager_events\":" << result.manager_events
+      << ",\"oracle_runs\":" << result.oracle_runs
+      << ",\"oracle_events\":" << result.oracle_events << ',';
+  out << "\"stats\":" << obs::to_json(result.stats);
+  out << '}';
+}
+
+std::string jobs_summary_json(const jobs::ServiceResult& result) {
+  std::ostringstream out;
+  write_jobs_summary_json(out, result);
+  return out.str();
+}
+
+}  // namespace rumr::report

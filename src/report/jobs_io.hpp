@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file jobs_io.hpp
+/// Machine-readable exporters for multi-job open-system results.
+///
+/// Two views of one jobs::ServiceResult:
+///   - per-job CSV: one row per arrived job with its full timeline
+///     (arrival, start, departure, waits, slowdown, segments held) — the
+///     long-form record plotting scripts aggregate;
+///   - summary JSON: the run-level counters, utilizations, Little's-law
+///     area, and the obs::JobsStats histograms (via obs::to_json), for
+///     dashboards and regression tooling.
+
+#include <iosfwd>
+#include <string>
+
+#include "jobs/job_manager.hpp"
+
+namespace rumr::report {
+
+/// CSV header + one row per arrived job:
+/// id,arrival,size,weight,state,start,departure,queue_wait,service_time,
+/// response,best_service,slowdown,work_done,segments
+void write_jobs_csv(std::ostream& out, const jobs::ServiceResult& result);
+
+/// Same, to a string.
+[[nodiscard]] std::string jobs_csv(const jobs::ServiceResult& result);
+
+/// One JSON object: counters, horizon, utilizations, offered load,
+/// Little's-law area, oracle effort, and the service-metric histograms.
+void write_jobs_summary_json(std::ostream& out, const jobs::ServiceResult& result);
+
+/// Same, to a string.
+[[nodiscard]] std::string jobs_summary_json(const jobs::ServiceResult& result);
+
+}  // namespace rumr::report

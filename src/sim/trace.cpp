@@ -22,6 +22,17 @@ std::vector<TraceSpan> Trace::for_worker(std::size_t worker) const {
   return out;
 }
 
+void Trace::append_shifted(const Trace& src, des::SimTime time_offset,
+                           std::size_t worker_offset) {
+  spans_.reserve(spans_.size() + src.spans_.size());
+  for (TraceSpan span : src.spans_) {
+    span.start += time_offset;
+    span.end += time_offset;
+    span.worker += worker_offset;
+    spans_.push_back(span);
+  }
+}
+
 des::SimTime Trace::end_time() const noexcept {
   des::SimTime latest = 0.0;
   for (const TraceSpan& s : spans_) latest = std::max(latest, s.end);

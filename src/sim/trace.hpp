@@ -58,6 +58,13 @@ class Trace {
   /// Latest end time across all spans (0 for an empty trace).
   [[nodiscard]] des::SimTime end_time() const noexcept;
 
+  /// Appends every span of `src` with its times shifted by `time_offset`
+  /// and its worker index by `worker_offset`. The multi-job engine uses
+  /// this to embed the Gantt of a run simulated on a worker-share
+  /// sub-platform (whose workers are numbered from 0) into the job-level
+  /// timeline at the segment's global position.
+  void append_shifted(const Trace& src, des::SimTime time_offset, std::size_t worker_offset);
+
   /// ASCII Gantt chart: one row for the master uplink plus one per worker,
   /// `width` character columns spanning [0, end_time()]. '#' marks uplink
   /// busy, '=' compute, '.' tail propagation. This reproduces the structure

@@ -5,8 +5,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "faults/fault_model.hpp"
+#include "jobs/job_manager.hpp"
 #include "platform/platform.hpp"
 #include "sim/master_worker.hpp"
 #include "sweep/scheduler_factory.hpp"
@@ -64,10 +66,18 @@ faults::FaultSpec scripted_outages() {
   });
 }
 
+/// The multi-job open-system scenario (see record_jobs_scenario). Reuses the
+/// single-run fixture schema with a documented field mapping, one case per
+/// sharing policy.
+constexpr const char* kJobsScenario = "jobs-poisson";
+
 constexpr ScenarioDef kScenarios[] = {
     {"homogeneous-10", 1000.0, 0.3, 42, &homogeneous_10, &no_faults},
     {"heterogeneous-4", 400.0, 0.2, 7, &heterogeneous_4, &no_faults},
     {"faults-scripted", 1000.0, 0.2, 11, &homogeneous_10, &scripted_outages},
+    // jobs-poisson is handled by record_jobs_scenario; w_total stands in for
+    // the per-job mean size.
+    {kJobsScenario, 300.0, 0.2, 17, &homogeneous_10, &no_faults},
 };
 
 const ScenarioDef& find_scenario(const std::string& name) {
@@ -106,8 +116,58 @@ std::vector<std::string> scenario_names() {
   return names;
 }
 
+/// Fingerprints one multi-job open-system run per sharing policy. GoldenCase
+/// fields are reused under this mapping:
+///   algorithm          <- sharing-policy name
+///   makespan           <- ServiceResult::horizon
+///   work_dispatched    <- ServiceResult::total_work
+///   uplink_busy_time   <- ServiceResult::area_jobs_in_system (Little's-law
+///                         integral: drifts on ANY timeline perturbation)
+///   chunks             <- completed jobs
+///   events             <- manager + oracle DES events
+///   chunks_redispatched<- rejected + shed jobs
+GoldenScenario record_jobs_scenario(const ScenarioDef& def) {
+  const platform::StarPlatform platform = def.make_platform();
+
+  GoldenScenario scenario;
+  scenario.name = def.name;
+  scenario.w_total = def.w_total;
+  scenario.error = def.error;
+  scenario.seed = def.seed;
+
+  for (const jobs::SharingPolicy sharing :
+       {jobs::SharingPolicy::kExclusive, jobs::SharingPolicy::kPartitioned,
+        jobs::SharingPolicy::kFractional}) {
+    jobs::JobsOptions options;
+    options.sharing = sharing;
+    options.partitions = 2;
+    options.stream = jobs::JobStreamSpec::poisson(
+        jobs::JobStreamSpec::rate_for_load(platform, 0.7, def.w_total), 40, def.w_total);
+    options.stream.size_dist = jobs::SizeDistribution::kUniform;
+    options.stream.size_spread = 0.4;
+    options.known_error = def.error;
+    options.sim = sim::SimOptions::with_error(def.error, def.seed);
+    const jobs::ServiceResult result = jobs::run_jobs(platform, options);
+
+    // A fingerprint of a run that violates its own invariants is worthless.
+    check::audit_service_result(result, platform, options).throw_if_failed();
+
+    GoldenCase c;
+    c.algorithm = jobs::to_string(sharing);
+    c.makespan = result.horizon;
+    c.work_dispatched = result.total_work;
+    c.uplink_busy_time = result.area_jobs_in_system;
+    c.chunks = result.completed;
+    c.events = result.manager_events + result.oracle_events;
+    c.chunks_redispatched = result.rejected + result.shed;
+    scenario.cases.push_back(std::move(c));
+  }
+  return scenario;
+}
+
 GoldenScenario record_scenario(const std::string& name) {
   const ScenarioDef& def = find_scenario(name);
+  if (name == kJobsScenario) return record_jobs_scenario(def);
   const platform::StarPlatform platform = def.make_platform();
 
   GoldenScenario scenario;

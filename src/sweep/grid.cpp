@@ -91,6 +91,16 @@ std::vector<double> error_axis(double max_error, double step) {
   return errors;
 }
 
+std::vector<double> load_axis(double min_load, double max_load, double step) {
+  std::vector<double> loads;
+  for (double l = min_load; l <= max_load + 1e-9; l += step) {
+    // Snap relative to min_load: the axis origin need not be on the step
+    // lattice (default 0.1 with step 0.2).
+    loads.push_back(min_load + std::round((l - min_load) / step) * step);
+  }
+  return loads;
+}
+
 std::size_t error_band(double error) noexcept {
   // Bands: [0, 0.08], [0.1, 0.18], [0.2, 0.28], [0.3, 0.38], [0.4, 0.48].
   for (std::size_t band = 0; band < 5; ++band) {

@@ -66,6 +66,13 @@ struct GridSpec {
 /// Band index (0..4) for an error value, or SIZE_MAX if outside all bands.
 [[nodiscard]] std::size_t error_band(double error) noexcept;
 
+/// Offered-load axis for open-system (multi-job) sweeps: fractions of the
+/// platform's aggregate compute capacity, min_load..max_load inclusive.
+/// Pair with jobs::JobStreamSpec::rate_for_load to turn each point into an
+/// arrival rate.
+[[nodiscard]] std::vector<double> load_axis(double min_load = 0.1, double max_load = 0.9,
+                                            double step = 0.2);
+
 /// Human-readable band labels matching the paper's table headers.
 [[nodiscard]] const std::vector<std::string>& error_band_labels();
 

@@ -27,6 +27,25 @@ class FlatFifo {
   using iterator = typename std::vector<T>::iterator;
   using const_iterator = typename std::vector<T>::const_iterator;
 
+  FlatFifo() = default;
+  FlatFifo(const FlatFifo&) = default;
+  FlatFifo& operator=(const FlatFifo&) = default;
+
+  // Explicit moves: the implicit ones would empty items_ but keep the
+  // source's head index, leaving a moved-from queue with a broken invariant.
+  FlatFifo(FlatFifo&& other) noexcept
+      : items_(std::move(other.items_)), head_(other.head_) {
+    other.clear();
+  }
+  FlatFifo& operator=(FlatFifo&& other) noexcept {
+    if (this != &other) {
+      items_ = std::move(other.items_);
+      head_ = other.head_;
+      other.clear();
+    }
+    return *this;
+  }
+
   void push_back(const T& value) { items_.push_back(value); }
   void push_back(T&& value) { items_.push_back(std::move(value)); }
 

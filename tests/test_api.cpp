@@ -137,5 +137,58 @@ TEST(RunFromFile, MissingFileThrows) {
   EXPECT_THROW((void)rumr::Run::from_file("/nonexistent/nowhere.rumr"), config::ConfigError);
 }
 
+TEST(JobsRunFacade, BuildsExecutesAndSelfAudits) {
+  const jobs::ServiceResult result = rumr::Run()
+                                         .platform(small_platform())
+                                         .algorithm("rumr")
+                                         .known_error(0.2)
+                                         .error(0.2)
+                                         .seed(7)
+                                         .jobs()
+                                         .poisson_load(0.6, 20, 150.0)
+                                         .sharing(jobs::SharingPolicy::kFractional)
+                                         .execute();
+  EXPECT_EQ(result.arrived, 20u);
+  EXPECT_EQ(result.completed, 20u);
+  EXPECT_GE(result.mean_slowdown(), 1.0);
+  // Run::jobs() carried the per-job scheduler settings over.
+  EXPECT_NEAR(result.offered_load, 0.6, 0.4);  // Realized load tracks the target.
+}
+
+TEST(JobsRunFacade, InvalidOptionsThrowAtExecute) {
+  rumr::JobsRun run;
+  run.algorithm("definitely-not-real");
+  EXPECT_THROW((void)run.execute(), std::invalid_argument);
+}
+
+TEST(JobsRunFacade, FromFileLoadsTheJobsSchema) {
+  const std::string path = ::testing::TempDir() + "api_jobs_test.rumr";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "[platform]\n"
+           "workers = 4\n"
+           "bandwidth = 15\n"
+           "\n"
+           "[schedule]\n"
+           "algorithm = factoring\n"
+           "\n"
+           "[simulation]\n"
+           "seed = 5\n"
+           "\n"
+           "[jobs]\n"
+           "load = 0.5\n"
+           "jobs = 8\n"
+           "mean_size = 120\n"
+           "sharing = partitioned\n"
+           "partitions = 2\n";
+  }
+  rumr::JobsRun run = rumr::JobsRun::from_file(path);
+  EXPECT_EQ(run.options().algorithm, "factoring");
+  EXPECT_EQ(run.options().sharing, jobs::SharingPolicy::kPartitioned);
+  const jobs::ServiceResult result = run.execute();
+  EXPECT_EQ(result.completed, 8u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace rumr

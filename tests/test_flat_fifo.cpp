@@ -1,0 +1,180 @@
+// Direct unit tests for util::FlatFifo, the engine's per-worker queue.
+// The engine exercises it indirectly everywhere; these pin down the
+// container contract itself: head-index recycling, erase, move/clear
+// semantics, and an interleaved push/pop comparison against std::deque.
+
+#include "util/flat_fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace rumr {
+namespace {
+
+TEST(FlatFifo, StartsEmpty) {
+  util::FlatFifo<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.begin(), q.end());
+}
+
+TEST(FlatFifo, FifoOrderAcrossManyCycles) {
+  util::FlatFifo<int> q;
+  int next_push = 0;
+  int next_pop = 0;
+  // Wrap through several fill/drain cycles so the head index repeatedly
+  // advances past prior pushes and the drain-time compaction kicks in.
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 7; ++i) q.push_back(next_push++);
+    while (!q.empty()) {
+      EXPECT_EQ(q.front(), next_pop++);
+      q.pop_front();
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(FlatFifo, DrainRecyclesCapacityInsteadOfGrowing) {
+  util::FlatFifo<int> q;
+  // Steady-state churn: push one, pop one. Without the clear-on-drain
+  // recycling the backing vector would grow by one slot per iteration.
+  q.push_back(0);
+  for (int i = 1; i <= 10000; ++i) {
+    q.push_back(i);
+    q.pop_front();
+  }
+  q.pop_front();
+  EXPECT_TRUE(q.empty());
+  // After a full drain the next push lands at slot 0 again.
+  q.push_back(42);
+  EXPECT_EQ(&q.front(), &*q.begin());
+  EXPECT_EQ(q.front(), 42);
+}
+
+TEST(FlatFifo, IterationCoversExactlyTheLiveElements) {
+  util::FlatFifo<int> q;
+  for (int i = 0; i < 6; ++i) q.push_back(i);
+  q.pop_front();
+  q.pop_front();
+  const std::vector<int> live(q.begin(), q.end());
+  EXPECT_EQ(live, (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(FlatFifo, EraseMiddlePreservesOrder) {
+  util::FlatFifo<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  q.pop_front();  // live: 1 2 3 4
+  auto it = q.begin();
+  ++it;  // points at 2
+  it = q.erase(it);
+  EXPECT_EQ(*it, 3);
+  const std::vector<int> live(q.begin(), q.end());
+  EXPECT_EQ(live, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(FlatFifo, EraseLastLiveElementResetsHead) {
+  util::FlatFifo<int> q;
+  q.push_back(1);
+  q.push_back(2);
+  q.pop_front();
+  q.erase(q.begin());
+  EXPECT_TRUE(q.empty());
+  q.push_back(7);  // Must not resurrect dead prefix elements.
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), 7);
+}
+
+TEST(FlatFifo, ClearEmptiesAdvancedQueue) {
+  util::FlatFifo<std::string> q;
+  q.push_back("a");
+  q.push_back("b");
+  q.pop_front();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back("c");
+  EXPECT_EQ(q.front(), "c");
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(FlatFifo, MoveConstructLeavesSourceEmptyAndUsable) {
+  util::FlatFifo<int> src;
+  for (int i = 0; i < 4; ++i) src.push_back(i);
+  src.pop_front();  // Advance the head so the move must carry it over.
+
+  util::FlatFifo<int> dst(std::move(src));
+  EXPECT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.front(), 1);
+
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move): contract under test.
+  EXPECT_EQ(src.size(), 0u);
+  src.push_back(9);
+  EXPECT_EQ(src.front(), 9);
+}
+
+TEST(FlatFifo, MoveAssignLeavesSourceEmptyAndUsable) {
+  util::FlatFifo<int> src;
+  for (int i = 0; i < 4; ++i) src.push_back(i);
+  src.pop_front();
+
+  util::FlatFifo<int> dst;
+  dst.push_back(99);
+  dst = std::move(src);
+  const std::vector<int> live(dst.begin(), dst.end());
+  EXPECT_EQ(live, (std::vector<int>{1, 2, 3}));
+
+  EXPECT_TRUE(src.empty());  // NOLINT(bugprone-use-after-move): contract under test.
+  src.push_back(5);
+  EXPECT_EQ(src.front(), 5);
+}
+
+TEST(FlatFifo, CopyIsIndependentOfSource) {
+  util::FlatFifo<int> a;
+  for (int i = 0; i < 3; ++i) a.push_back(i);
+  a.pop_front();
+  util::FlatFifo<int> b(a);
+  a.pop_front();
+  const std::vector<int> b_live(b.begin(), b.end());
+  EXPECT_EQ(b_live, (std::vector<int>{1, 2}));
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(FlatFifo, InterleavedOperationsMatchDequeOracle) {
+  util::FlatFifo<int> fifo;
+  std::deque<int> oracle;
+  stats::Rng rng(20260805);
+  int next = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const double u = rng.uniform01();
+    if (u < 0.45 || oracle.empty()) {
+      fifo.push_back(next);
+      oracle.push_back(next);
+      ++next;
+    } else if (u < 0.85) {
+      ASSERT_EQ(fifo.front(), oracle.front());
+      fifo.pop_front();
+      oracle.pop_front();
+    } else if (u < 0.95 && !oracle.empty()) {
+      // Erase a pseudo-random live element.
+      const auto offset = static_cast<std::ptrdiff_t>(
+          rng.uniform01() * static_cast<double>(oracle.size()));
+      fifo.erase(fifo.begin() + offset);
+      oracle.erase(oracle.begin() + offset);
+    } else {
+      fifo.clear();
+      oracle.clear();
+    }
+    ASSERT_EQ(fifo.size(), oracle.size());
+    ASSERT_EQ(fifo.empty(), oracle.empty());
+  }
+  EXPECT_TRUE(std::equal(fifo.begin(), fifo.end(), oracle.begin(), oracle.end()));
+}
+
+}  // namespace
+}  // namespace rumr

@@ -13,6 +13,10 @@
 //      traces and result fingerprints must match byte for byte. Each run is
 //      additionally passed through the rumr::check work-conservation
 //      auditor.
+//   3. Multi-job replay audit: the open-system engine (rumr::jobs) runs the
+//      same Poisson stream twice under each platform-sharing policy; the
+//      per-job CSV plus summary JSON must match byte for byte, and every run
+//      must pass check::audit_service_result.
 //
 // Exit status 0 iff every check passes; intended for CI (see ci.sh) and for
 // local use after touching src/des, src/sim, or any policy.
@@ -28,9 +32,13 @@
 #include <vector>
 
 #include "check/des_audit.hpp"
+#include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "des/simulator.hpp"
+#include "jobs/job_manager.hpp"
+#include "jobs/job_stream.hpp"
 #include "platform/platform.hpp"
+#include "report/jobs_io.hpp"
 #include "sim/master_worker.hpp"
 #include "sim/trace_json.hpp"
 #include "stats/rng.hpp"
@@ -163,6 +171,52 @@ void scheduler_replay_round(const rumr::platform::StarPlatform& platform, const 
   }
 }
 
+// --- 3. Multi-job replay audit ------------------------------------------------
+
+/// Runs the open system once and reduces it to a byte-comparable string:
+/// the per-job CSV plus the summary JSON (both at full precision).
+std::string jobs_fingerprint(const rumr::platform::StarPlatform& platform,
+                             const rumr::jobs::JobsOptions& options, std::string* audit_out) {
+  const rumr::jobs::ServiceResult result = rumr::jobs::run_jobs(platform, options);
+
+  const rumr::check::AuditReport audit =
+      rumr::check::audit_service_result(result, platform, options);
+  if (!audit.ok() && audit_out != nullptr) *audit_out = audit.summary();
+
+  return rumr::report::jobs_csv(result) + rumr::report::jobs_summary_json(result);
+}
+
+void jobs_replay_round(const rumr::platform::StarPlatform& platform, double load,
+                       std::uint64_t seed) {
+  for (const rumr::jobs::SharingPolicy sharing :
+       {rumr::jobs::SharingPolicy::kExclusive, rumr::jobs::SharingPolicy::kPartitioned,
+        rumr::jobs::SharingPolicy::kFractional}) {
+    rumr::jobs::JobsOptions options;
+    options.sharing = sharing;
+    options.partitions = 2;
+    options.stream = rumr::jobs::JobStreamSpec::poisson(
+        rumr::jobs::JobStreamSpec::rate_for_load(platform, load, 300.0), 30, 300.0);
+    options.stream.size_dist = rumr::jobs::SizeDistribution::kUniform;
+    options.stream.size_spread = 0.4;
+    options.known_error = 0.2;
+    options.sim = rumr::sim::SimOptions::with_error(0.2, seed);
+
+    std::string audit_detail;
+    const std::string first = jobs_fingerprint(platform, options, &audit_detail);
+    const std::string second = jobs_fingerprint(platform, options, nullptr);
+    const bool identical = first == second;
+    const bool audited = audit_detail.empty();
+
+    std::ostringstream what;
+    what << "jobs/" << rumr::jobs::to_string(sharing) << " (load=" << load << ", seed " << seed
+         << ")";
+    std::string detail;
+    if (!identical) detail = "replay produced a different service record";
+    if (!audited) detail += (detail.empty() ? "" : "; ") + ("audit: " + audit_detail);
+    report(what.str(), identical && audited, detail);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -184,6 +238,9 @@ int main() {
       {1.5, 16.0, 0.05, 0.02, 0.01},
   });
   scheduler_replay_round(lopsided, "heterogeneous-4", 400.0, 0.2, 7);
+
+  std::cout << "determinism_check: multi-job replay audit\n";
+  jobs_replay_round(homogeneous, 0.7, 17);
 
   if (g_failures != 0) {
     std::cout << "determinism_check: " << g_failures << " check(s) FAILED\n";
