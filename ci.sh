@@ -2,8 +2,8 @@
 # CI driver: builds and tests every correctness configuration.
 #
 #   ./ci.sh            all stages
-#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | metrics |
-#                      jobs | perf
+#   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | lint |
+#                      metrics | jobs | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
@@ -12,6 +12,15 @@
 #   tsan        RelWithDebInfo + TSan + expensive-tier RUMR_CHECKs + ctest
 #   tidy        clang-tidy over src/ with the repo .clang-tidy, zero-warning
 #               gate (skipped with a notice when clang-tidy is not installed)
+#   lint        self-hosted determinism lint (tools/rumr_lint): zero-finding
+#               gate over src/, tools/, and bench/ enforcing the rule catalog
+#               in DESIGN.md §12 (no ambient randomness, no wall clocks
+#               outside the obs allowlist, no unordered/pointer-keyed
+#               iteration, no mutable statics, no exact float compares in
+#               policy code, #pragma once, suppression hygiene), plus the
+#               header self-sufficiency gate (every src/ header compiles as
+#               a standalone TU). Unlike tidy, this stage has no external
+#               dependency and always runs.
 #   metrics     self-auditing observability demo (tools/metrics_demo) under
 #               the release and asan-ubsan presets; every scenario's metrics
 #               must satisfy the check:: identity audits
@@ -32,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy metrics jobs perf}")
+STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -41,9 +50,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|metrics|jobs|perf) ;;
+    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | metrics | jobs | perf)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | perf)" >&2
       exit 2
       ;;
   esac
@@ -93,6 +102,16 @@ for stage in "${STAGES[@]}"; do
       banner "clang-tidy over src/ [zero-warning gate]"
       cmake --build --preset tidy -j "$JOBS"
       ;;
+    lint)
+      banner "configure+build rumr_lint [release]"
+      cmake --preset release
+      cmake --build --preset release -j "$JOBS" --target rumr_lint
+      banner "determinism lint over src/ tools/ bench/ [zero-finding gate]"
+      ./build/release/tools/rumr_lint --root . \
+        --compile-commands build/release/compile_commands.json --error-exit
+      banner "header self-sufficiency [every src/ header as a standalone TU]"
+      cmake --build --preset release -j "$JOBS" --target rumr_header_selfcheck
+      ;;
     metrics)
       # The demo exits nonzero when any scenario's metrics violate the
       # observability identities, so this is a real gate, not a smoke run.
@@ -126,7 +145,7 @@ for stage in "${STAGES[@]}"; do
         --threshold 0.20 --history results/BENCH_history.jsonl
       ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|metrics|jobs|perf)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|perf)" >&2
       exit 2
       ;;
   esac

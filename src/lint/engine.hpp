@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file engine.hpp
+/// Rule registry, suppression machinery, and the top-level lint driver.
+///
+/// Suppression grammar, scanned from comments:
+///
+///     // rumr-lint: allow(<rule-name>) <reason text>
+///
+/// A trailing comment suppresses findings of <rule-name> on its own line; a
+/// standalone comment (nothing but whitespace before it) suppresses the line
+/// below. Hygiene is itself enforced: unknown rule names, missing reasons,
+/// and suppressions that suppress nothing are `suppression-hygiene` findings,
+/// and that pseudo-rule is deliberately not suppressible.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace rumr::lint {
+
+/// One parsed `rumr-lint: allow(...)` comment.
+struct Suppression {
+  std::string rule;
+  int comment_line = 0;
+  int target_line = 0;  ///< Line whose findings this suppression covers.
+  bool has_reason = false;
+  bool used = false;
+};
+
+class Engine {
+ public:
+  Engine();  ///< Loads the default rule registry.
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] bool is_known_rule(std::string_view name) const noexcept;
+
+  /// Runs every applicable rule over one file, applies suppressions, and
+  /// appends hygiene findings. Results are sorted by line then rule.
+  [[nodiscard]] std::vector<Finding> lint_file(const SourceFile& file) const;
+
+  /// Exposed for tests: suppressions parsed from a file's comments.
+  [[nodiscard]] static std::vector<Suppression> parse_suppressions(
+      const SourceFile& file, std::vector<Finding>& hygiene_out);
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Everything the CLI can configure; tests drive `run` directly.
+struct Options {
+  std::string root = ".";               ///< Repo root; rel_paths resolve against it.
+  std::vector<std::string> paths;       ///< Explicit repo-relative files (skip scan).
+  std::string compile_commands;         ///< Optional compile_commands.json path.
+  std::string baseline;                 ///< Optional baseline to filter against.
+  std::string write_baseline;           ///< Optional baseline to write and exit 0.
+  bool json = false;                    ///< JSON reporter instead of text.
+  bool error_exit = false;              ///< Findings make the exit code nonzero.
+  bool list_rules = false;              ///< Print the rule catalog and exit.
+};
+
+/// Runs the whole lint: collect files, lint, report. Returns the process
+/// exit code: 0 clean (or findings with error_exit off), 1 findings with
+/// error_exit on, 2 on usage/IO errors.
+[[nodiscard]] int run(const Options& opts, std::ostream& out, std::ostream& err);
+
+}  // namespace rumr::lint

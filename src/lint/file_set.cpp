@@ -1,0 +1,132 @@
+#include "lint/file_set.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json_lite.hpp"
+
+namespace rumr::lint {
+namespace fs = std::filesystem;
+namespace {
+
+[[nodiscard]] bool has_source_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
+}
+
+[[nodiscard]] bool is_tu_ext(std::string_view rel) {
+  return rel.ends_with(".cpp") || rel.ends_with(".cc") || rel.ends_with(".cxx");
+}
+
+[[nodiscard]] bool in_scope(std::string_view rel) {
+  for (const std::string& dir : default_scope_dirs()) {
+    if (rel.size() > dir.size() && rel.substr(0, dir.size()) == dir && rel[dir.size()] == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// All in-scope source files under root, as sorted repo-relative paths.
+[[nodiscard]] std::vector<std::string> glob_scope(const fs::path& root, bool headers_only) {
+  std::vector<std::string> out;
+  for (const std::string& dir : default_scope_dirs()) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !has_source_ext(entry.path())) continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (headers_only && is_tu_ext(rel)) continue;
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Reads compile_commands.json and returns the in-scope TUs it lists, as
+/// repo-relative paths. Returns false when the file is absent or unusable
+/// (the caller falls back to the glob).
+[[nodiscard]] bool tus_from_compile_db(const fs::path& db_path, const fs::path& root,
+                                       std::vector<std::string>& out) {
+  std::ifstream in(db_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  util::JsonValue doc;
+  try {
+    doc = util::JsonValue::parse(buf.str());
+  } catch (const std::exception&) {
+    return false;  // A truncated database is not fatal; the glob covers us.
+  }
+  if (!doc.is_array()) return false;
+  for (const util::JsonValue& entry : doc.as_array()) {
+    const util::JsonValue* file = entry.find("file");
+    if (file == nullptr) continue;
+    std::error_code ec;
+    const fs::path rel_path = fs::relative(fs::path(file->as_string()), root, ec);
+    if (ec) continue;
+    const std::string rel = rel_path.generic_string();
+    if (rel.rfind("..", 0) == 0) continue;  // Outside the repo root.
+    if (in_scope(rel) && is_tu_ext(rel)) out.push_back(rel);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+const std::vector<std::string>& default_scope_dirs() {
+  // Immutable after initialization; shared across calls by design.
+  static const std::vector<std::string> kDirs = {"src", "tools", "bench"};
+  return kDirs;
+}
+
+std::vector<std::string> collect_files(const std::string& root_str,
+                                       const std::string& compile_commands_path,
+                                       std::string* source_note) {
+  const fs::path root(root_str);
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("root directory not found: " + root_str);
+  }
+
+  // Candidate compile databases: the explicit one, then the conventional
+  // build-tree spots (every preset exports one).
+  std::vector<fs::path> candidates;
+  if (!compile_commands_path.empty()) {
+    candidates.emplace_back(compile_commands_path);
+  } else {
+    candidates.push_back(root / "compile_commands.json");
+    for (const char* preset : {"release", "asan-ubsan", "tsan", "tidy"}) {
+      candidates.push_back(root / "build" / preset / "compile_commands.json");
+    }
+  }
+
+  std::vector<std::string> files;
+  bool used_db = false;
+  for (const fs::path& db : candidates) {
+    if (tus_from_compile_db(db, root, files)) {
+      used_db = true;
+      if (source_note != nullptr) {
+        *source_note = "TUs from " + db.generic_string() + " + globbed headers";
+      }
+      break;
+    }
+  }
+  if (used_db) {
+    // The database lists only translation units; headers are globbed.
+    std::vector<std::string> headers = glob_scope(root, /*headers_only=*/true);
+    files.insert(files.end(), headers.begin(), headers.end());
+  } else {
+    files = glob_scope(root, /*headers_only=*/false);
+    if (source_note != nullptr) *source_note = "glob fallback (no compile_commands.json)";
+  }
+
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace rumr::lint

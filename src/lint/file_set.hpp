@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file file_set.hpp
+/// Decides which files the lint looks at.
+///
+/// Translation units come from compile_commands.json when one is available
+/// (the same source of truth clang-tidy uses; CMAKE_EXPORT_COMPILE_COMMANDS
+/// is ON in the top-level CMakeLists), with a recursive directory glob as the
+/// fallback; headers are always globbed, since a compile database lists only
+/// TUs. Scope is the determinism-critical trees: src/, tools/, bench/ —
+/// tests/ is excluded because its fixtures deliberately contain violations.
+
+#include <string>
+#include <vector>
+
+namespace rumr::lint {
+
+/// Repo-relative directory prefixes the lint covers.
+[[nodiscard]] const std::vector<std::string>& default_scope_dirs();
+
+/// Collects the sorted, deduplicated list of repo-relative source paths
+/// (forward slashes). `compile_commands_path` may be empty: the well-known
+/// build-tree locations are probed, then the glob fallback runs. When
+/// `source_note` is non-null it receives a short description of which file
+/// source was used (for the report footer). Throws std::runtime_error when
+/// `root` does not exist.
+[[nodiscard]] std::vector<std::string> collect_files(const std::string& root,
+                                                     const std::string& compile_commands_path,
+                                                     std::string* source_note);
+
+}  // namespace rumr::lint

@@ -1,0 +1,251 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace rumr::lint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Longest-match operator tables: without these, "!=" would lex as "!" + "="
+// and the float-equality rule would miss every inequality.
+constexpr std::array<std::string_view, 5> kThreeCharOps = {"<<=", ">>=", "->*", "...", "<=>"};
+constexpr std::array<std::string_view, 20> kTwoCharOps = {
+    "::", "->", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "##"};
+
+/// Encoding prefixes that may precede a string or character literal.
+[[nodiscard]] bool is_encoding_prefix(std::string_view id) noexcept {
+  return id == "L" || id == "u" || id == "U" || id == "u8";
+}
+
+/// Raw-string introducers: R plus every encoding-prefixed form.
+[[nodiscard]] bool is_raw_prefix(std::string_view id) noexcept {
+  return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult res;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool preproc = false;        // Inside a # directive, until an uncontinued newline.
+  bool line_has_token = false; // Whether a token was emitted on the current line.
+  int last_token_line = 0;     // For classifying comments as trailing.
+
+  auto emit = [&](TokenKind kind, std::size_t begin, std::size_t end, int at_line) {
+    res.tokens.push_back({kind, std::string(src.substr(begin, end - begin)), at_line, preproc});
+    line_has_token = true;
+    last_token_line = line;
+  };
+
+  // Consumes an ordinary (non-raw) string literal body; i sits on the opening
+  // quote on entry and one past the closing quote on exit.
+  auto consume_string = [&] {
+    ++i;  // opening "
+    while (i < n && src[i] != '"') {
+      if (src[i] == '\\' && i + 1 < n) {
+        if (src[i + 1] == '\n') ++line;
+        i += 2;
+        continue;
+      }
+      if (src[i] == '\n') ++line;  // Unterminated literal: tolerate.
+      ++i;
+    }
+    if (i < n) ++i;  // closing "
+  };
+
+  auto consume_char_literal = [&] {
+    ++i;  // opening '
+    while (i < n && src[i] != '\'') {
+      if (src[i] == '\\' && i + 1 < n) {
+        i += 2;
+        continue;
+      }
+      if (src[i] == '\n') { ++line; break; }  // Unterminated: stop at newline.
+      ++i;
+    }
+    if (i < n && src[i] == '\'') ++i;
+  };
+
+  // R"delim( ... )delim" — i sits on the opening quote.
+  auto consume_raw_string = [&] {
+    ++i;  // opening "
+    std::size_t delim_begin = i;
+    while (i < n && src[i] != '(' && src[i] != '\n' && i - delim_begin < 17) ++i;
+    const std::string_view delim = src.substr(delim_begin, i - delim_begin);
+    if (i < n && src[i] == '(') ++i;
+    std::string closer;
+    closer.reserve(delim.size() + 2);
+    closer.push_back(')');
+    closer.append(delim);
+    closer.push_back('"');
+    while (i < n) {
+      if (src[i] == '\n') ++line;
+      if (src.compare(i, closer.size(), closer) == 0) {
+        i += closer.size();
+        return;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      // A directive survives its newline only under a backslash continuation
+      // (optionally with a carriage return between the backslash and newline).
+      if (preproc) {
+        const bool continued = (i >= 1 && src[i - 1] == '\\') ||
+                               (i >= 2 && src[i - 1] == '\r' && src[i - 2] == '\\');
+        if (!continued) preproc = false;
+      }
+      ++line;
+      line_has_token = false;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      res.comments.push_back(
+          {std::string(src.substr(i + 2, j - i - 2)), line, last_token_line == line});
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      res.comments.push_back(
+          {std::string(src.substr(i + 2, j - i - 2)), start_line, last_token_line == start_line});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Identifiers, and the string/char literals their prefixes can introduce.
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      const std::string_view id = src.substr(i, j - i);
+      if (j < n && src[j] == '"' && is_raw_prefix(id)) {
+        const std::size_t begin = i;
+        i = j;
+        consume_raw_string();
+        emit(TokenKind::kString, begin, i, line);
+        continue;
+      }
+      if (j < n && src[j] == '"' && is_encoding_prefix(id)) {
+        const std::size_t begin = i;
+        i = j;
+        consume_string();
+        emit(TokenKind::kString, begin, i, line);
+        continue;
+      }
+      if (j < n && src[j] == '\'' && is_encoding_prefix(id)) {
+        const std::size_t begin = i;
+        i = j;
+        consume_char_literal();
+        emit(TokenKind::kCharLiteral, begin, i, line);
+        continue;
+      }
+      emit(TokenKind::kIdentifier, i, j, line);
+      i = j;
+      continue;
+    }
+
+    if (c == '"') {
+      const std::size_t begin = i;
+      const int start_line = line;
+      consume_string();
+      emit(TokenKind::kString, begin, i, start_line);
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t begin = i;
+      consume_char_literal();
+      emit(TokenKind::kCharLiteral, begin, i, line);
+      continue;
+    }
+
+    // Numbers: digits, a leading dot, digit separators, exponents (e/E for
+    // decimal, p/P for hex floats) with signs, and alphabetic suffixes.
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j + 1 < n && is_ident_char(src[j + 1])) {
+          ++j;  // digit separator
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(src[j - 1])));
+          if (prev == 'e' || prev == 'p') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      emit(TokenKind::kNumber, i, j, line);
+      i = j;
+      continue;
+    }
+
+    // A directive starts at a # that opens its line.
+    if (c == '#' && !line_has_token) preproc = true;
+
+    // Punctuators, longest match first.
+    std::size_t op_len = 1;
+    for (const auto op : kThreeCharOps) {
+      if (src.compare(i, op.size(), op) == 0) {
+        op_len = 3;
+        break;
+      }
+    }
+    if (op_len == 1) {
+      for (const auto op : kTwoCharOps) {
+        if (src.compare(i, op.size(), op) == 0) {
+          op_len = 2;
+          break;
+        }
+      }
+    }
+    emit(TokenKind::kPunct, i, i + op_len, line);
+    i += op_len;
+  }
+
+  res.line_count = line;
+  return res;
+}
+
+}  // namespace rumr::lint

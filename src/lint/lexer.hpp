@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Token-level scanner for the self-hosted determinism lint (rumr::lint).
+///
+/// This is not a C++ parser: it is a lexer that is exactly smart enough to
+/// never be fooled by the places rule keywords can legally hide — line and
+/// block comments, string literals (including raw strings with custom
+/// delimiters and encoding prefixes), character literals, and digit
+/// separators. Rules then pattern-match over the resulting token stream,
+/// which makes them immune to the classic grep failure modes ("steady_clock"
+/// in a comment, "rand" inside a string).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumr::lint {
+
+enum class TokenKind {
+  kIdentifier,   ///< Identifiers and keywords (the lexer does not distinguish).
+  kNumber,       ///< Numeric literal, including hex floats and separators.
+  kString,       ///< Any string literal (ordinary, raw, or encoding-prefixed).
+  kCharLiteral,  ///< Character literal.
+  kPunct,        ///< Operator or punctuator (multi-char operators combined).
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< Verbatim spelling (string/char literals keep quotes).
+  int line;          ///< 1-based line of the token's first character.
+  bool preproc;      ///< True when the token is part of a preprocessor directive.
+};
+
+struct Comment {
+  std::string text;  ///< Interior text, without the // or /* */ markers.
+  int line;          ///< 1-based line where the comment starts.
+  bool trailing;     ///< True when a token precedes the comment on its line.
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  int line_count = 0;
+};
+
+/// Scans a whole translation unit. Never throws: malformed input (unterminated
+/// literals, stray bytes) degrades to best-effort tokens rather than failure,
+/// because a linter must be able to look at broken code.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace rumr::lint

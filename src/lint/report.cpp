@@ -1,0 +1,104 @@
+#include "lint/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "lint/engine.hpp"
+
+namespace rumr::lint {
+namespace {
+
+/// Minimal JSON string escaping for paths/messages (ASCII sources).
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string finding_key(const Finding& f) {
+  return f.file + "|" + f.rule + "|" + std::to_string(f.line);
+}
+
+void print_text(const std::vector<Finding>& findings, std::ostream& out) {
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": error: [" << f.rule << "] " << f.message << "\n";
+  }
+}
+
+void print_json(const std::vector<Finding>& findings, std::size_t files_scanned,
+                std::ostream& out) {
+  out << "{\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"finding_count\": " << findings.size() << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+void print_rule_catalog(const Engine& engine, std::ostream& out) {
+  out << "rumr_lint rule catalog (suppress with: // rumr-lint: allow(<rule>) <reason>)\n\n";
+  for (const auto& rule : engine.rules()) {
+    out << "  " << rule->name() << "\n      " << rule->rationale() << "\n\n";
+  }
+  out << "  " << kSuppressionHygieneRule << " (engine-level, not suppressible)\n      "
+      << kSuppressionHygieneRationale << "\n";
+}
+
+bool load_baseline(const std::string& path, std::vector<std::string>& keys_out,
+                   std::ostream& err) {
+  std::ifstream in(path);
+  if (!in) {
+    err << "rumr_lint: cannot read baseline " << path << "\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.front() != '#') keys_out.push_back(line);
+  }
+  std::sort(keys_out.begin(), keys_out.end());
+  return true;
+}
+
+bool write_baseline(const std::vector<Finding>& findings, const std::string& path,
+                    std::ostream& err) {
+  std::ofstream out_file(path);
+  if (!out_file) {
+    err << "rumr_lint: cannot write baseline " << path << "\n";
+    return false;
+  }
+  out_file << "# rumr_lint baseline: path|rule|line, one accepted legacy finding per line.\n";
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(finding_key(f));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const std::string& key : keys) out_file << key << "\n";
+  return static_cast<bool>(out_file);
+}
+
+}  // namespace rumr::lint

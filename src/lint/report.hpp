@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file report.hpp
+/// Finding reporters (text and JSON) and baseline-file support.
+///
+/// A baseline is a sorted text file of one `path|rule|line` key per line,
+/// written by `--write-baseline` and subtracted by `--baseline`. It exists
+/// for adopting the lint on a tree with legacy findings; this repo's own
+/// gate runs baseline-free (zero findings is the contract).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace rumr::lint {
+
+class Engine;
+
+/// `path|rule|line` — the stable identity of a finding for baselines.
+[[nodiscard]] std::string finding_key(const Finding& f);
+
+void print_text(const std::vector<Finding>& findings, std::ostream& out);
+void print_json(const std::vector<Finding>& findings, std::size_t files_scanned,
+                std::ostream& out);
+void print_rule_catalog(const Engine& engine, std::ostream& out);
+
+/// Returns false (after printing to err) on IO failure. `keys_out` comes
+/// back sorted for binary_search.
+[[nodiscard]] bool load_baseline(const std::string& path, std::vector<std::string>& keys_out,
+                                 std::ostream& err);
+[[nodiscard]] bool write_baseline(const std::vector<Finding>& findings, const std::string& path,
+                                  std::ostream& err);
+
+}  // namespace rumr::lint

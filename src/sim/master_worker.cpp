@@ -139,6 +139,7 @@ class Engine final : public MasterContext {
   }
 
   SimResult run() {
+    // rumr-lint: allow(wall-clock) obs events/sec throughput metric only; never feeds simulated state
     const auto wall_start = std::chrono::steady_clock::now();
     if (faults_on_) {
       for (std::size_t w = 0; w < platform_.size(); ++w) schedule_ground_fault(w, 0.0);
@@ -147,6 +148,7 @@ class Engine final : public MasterContext {
     if (faults_on_) maybe_finish();  // Zero-work edge: nothing was ever pending.
     sim_.run();
     const double wall_seconds =
+        // rumr-lint: allow(wall-clock) closes the obs events/sec measurement opened above
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
     finalize_checks();
 

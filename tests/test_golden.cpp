@@ -47,8 +47,8 @@ TEST_P(GoldenReplay, MatchesRecordedFixture) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, GoldenReplay, ::testing::ValuesIn(scenario_names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -1,0 +1,85 @@
+// rumr_lint — self-hosted determinism lint for this repository.
+//
+// Tokenizes the project's own C++ sources (src/, tools/, bench/) and enforces
+// the determinism and concurrency invariants every result in this repo rests
+// on: no unordered-container iteration, no ambient randomness outside the RNG
+// lanes, no wall clocks outside the observability allowlist, no pointer-keyed
+// ordering, no mutable statics, no exact float comparisons in policy code,
+// #pragma once everywhere, and hygienic suppressions.
+//
+//   tools/rumr_lint --root . --error-exit        # the CI gate (ci.sh lint)
+//   tools/rumr_lint --rules                      # rule catalog + rationales
+//   tools/rumr_lint --root . --json              # machine-readable findings
+//
+// All real logic lives in src/lint (rumr::lint::run) so the test suite can
+// drive the exact code path CI runs.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint/engine.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out) {
+  out << "usage: rumr_lint [options] [repo-relative files...]\n"
+         "  --root DIR              repo root to scan (default: .)\n"
+         "  --compile-commands F    compile_commands.json to take the TU list from\n"
+         "                          (default: probe root and build/<preset>/)\n"
+         "  --baseline F            subtract findings listed in baseline F\n"
+         "  --write-baseline F      write current findings as a baseline and exit\n"
+         "  --json                  JSON reporter instead of text\n"
+         "  --error-exit            exit 1 when findings remain (the CI gate)\n"
+         "  --rules                 print the rule catalog with rationales\n"
+         "  --help                  this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rumr::lint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rumr_lint: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      opts.root = v;
+    } else if (arg == "--compile-commands") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      opts.compile_commands = v;
+    } else if (arg == "--baseline") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      opts.baseline = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = need_value();
+      if (v == nullptr) return 2;
+      opts.write_baseline = v;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--error-exit") {
+      opts.error_exit = true;
+    } else if (arg == "--rules") {
+      opts.list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "rumr_lint: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      opts.paths.push_back(arg);
+    }
+  }
+  return rumr::lint::run(opts, std::cout, std::cerr);
+}
