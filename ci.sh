@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            all stages
 #   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | lint |
-#                      metrics | jobs | perf
+#                      metrics | jobs | chaos | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
@@ -27,6 +27,12 @@
 #   jobs        multi-job open-system demo (tools/jobs_demo) under the release
 #               and asan-ubsan presets; every run must pass
 #               check::audit_service_result and drain its admitted jobs
+#   chaos       seeded fault-injection campaign (tools/chaos_campaign) under
+#               the release and asan-ubsan presets: the small grid sweeps
+#               message loss x bandwidth degradation x worker MTBF x workload
+#               error for every policy, self-audits each cell, and
+#               --error-exit fails the stage on any audit violation or
+#               non-converging run
 #   perf        fresh bench_perf_json snapshot (results/BENCH_des.json) gated
 #               by tools/perf_gate against the checked-in
 #               results/BENCH_baseline.json: any rate more than 20% below
@@ -41,7 +47,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs perf}")
+STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs chaos perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -50,9 +56,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|perf) ;;
+    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|chaos|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | perf)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | chaos | perf)" >&2
       exit 2
       ;;
   esac
@@ -134,6 +140,20 @@ for stage in "${STAGES[@]}"; do
         "./build/$preset/tools/jobs_demo"
       done
       ;;
+    chaos)
+      # Every cell of the campaign self-audits (work conservation, banked-work
+      # accounting, span sanity) and must converge within its event budget;
+      # --error-exit turns any violation into a stage failure. The seed is
+      # pinned so a red stage is reproducible bit-for-bit.
+      for preset in release asan-ubsan; do
+        banner "configure+build chaos_campaign [$preset]"
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target chaos_campaign
+        banner "chaos campaign, small grid [$preset]"
+        "./build/$preset/tools/chaos_campaign" --grid small --seed 802537 \
+          --out "build/$preset/CHAOS.json" --error-exit
+      done
+      ;;
     perf)
       banner "configure+build perf gate [release]"
       cmake --preset release
@@ -145,7 +165,7 @@ for stage in "${STAGES[@]}"; do
         --threshold 0.20 --history results/BENCH_history.jsonl
       ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|perf)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|chaos|perf)" >&2
       exit 2
       ;;
   esac

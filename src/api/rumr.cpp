@@ -50,6 +50,31 @@ Run& Run::repetitions(std::size_t n) {
   return *this;
 }
 
+Run& Run::faults(faults::FaultSpec spec) {
+  desc_.sim_options.faults = std::move(spec);
+  return *this;
+}
+
+Run& Run::link_faults(faults::LinkFaultSpec spec) {
+  desc_.sim_options.link = spec;
+  return *this;
+}
+
+Run& Run::retransmit(bool on) {
+  desc_.sim_options.retransmit.enabled = on;
+  return *this;
+}
+
+Run& Run::retransmit(sim::SimOptions::RetransmitOptions options) {
+  desc_.sim_options.retransmit = options;
+  return *this;
+}
+
+Run& Run::checkpoint_interval(double seconds) {
+  desc_.sim_options.checkpoint.interval = seconds;
+  return *this;
+}
+
 Run& Run::record_trace(bool on) {
   record_trace_ = on;
   return *this;

@@ -108,6 +108,16 @@ class Run {
   Run& error(double e);
   Run& seed(std::uint64_t s);
   Run& repetitions(std::size_t n);
+  /// Worker-availability fault injection (crash/recover, fail-stop, scripts).
+  Run& faults(faults::FaultSpec spec);
+  /// Link-fault injection: message loss, latency spikes, degradation windows.
+  Run& link_faults(faults::LinkFaultSpec spec);
+  /// Enables the ACK/timeout/retransmit protocol (optionally with custom
+  /// RFC6298 knobs via the options overload).
+  Run& retransmit(bool on = true);
+  Run& retransmit(sim::SimOptions::RetransmitOptions options);
+  /// Partial-work checkpointing period in simulated seconds (0 disables).
+  Run& checkpoint_interval(double seconds);
   /// Record a Gantt trace (on the last repetition when running a batch).
   Run& record_trace(bool on = true);
   /// Replaces the full engine option block (error processes, output model,

@@ -58,11 +58,20 @@ void audit_trace(AuditReport& report, const sim::SimResult& result,
     }
   }
 
-  if (result.trace.end_time() > result.makespan + tol) {
+  // The makespan bounds every span that *produces* results (compute, aborted,
+  // output, down). Network spans (uplink occupancy, last-byte tails) may
+  // legitimately outlive it under link faults: a retransmission or a spiked
+  // delivery can still be propagating when the re-dispatched copy of its
+  // payload completes elsewhere — the bytes arrive, are recognized as
+  // worthless, and are dropped.
+  for (const sim::TraceSpan& s : spans) {
+    if (s.kind == sim::SpanKind::kUplink || s.kind == sim::SpanKind::kTail) continue;
+    if (s.end <= result.makespan + tol) continue;
     std::ostringstream out;
-    out << "trace extends to t=" << result.trace.end_time() << " past the makespan t="
-        << result.makespan;
+    out << "span of kind " << static_cast<int>(s.kind) << " on worker " << s.worker
+        << " extends to t=" << s.end << " past the makespan t=" << result.makespan;
     report.violations.push_back(out.str());
+    break;  // One report suffices; later spans usually share the cause.
   }
 
   if (options.uplink_channels == 1) {
@@ -222,6 +231,26 @@ void audit_metrics(AuditReport& report, const sim::SimResult& result,
   check_count(report, "faults.chunks_lost", m.faults.chunks_lost, faults.chunks_lost);
   check_count(report, "faults.chunks_redispatched", m.faults.chunks_redispatched,
               faults.chunks_redispatched);
+  check_count(report, "faults.messages_lost", m.faults.messages_lost, faults.messages_lost);
+  check_count(report, "faults.latency_spikes", m.faults.latency_spikes, faults.latency_spikes);
+  check_count(report, "faults.degraded_sends", m.faults.degraded_sends, faults.degraded_sends);
+  check_count(report, "faults.retransmits", m.faults.retransmits, faults.retransmits);
+  check_time_identity(report, "faults.work_retransmitted", m.faults.work_retransmitted,
+                      faults.work_retransmitted, tol);
+  check_count(report, "faults.duplicates_suppressed", m.faults.duplicates_suppressed,
+              faults.duplicates_suppressed);
+  check_count(report, "faults.checkpoints_banked", m.faults.checkpoints_banked,
+              faults.checkpoints_banked);
+  check_time_identity(report, "faults.work_banked", m.faults.work_banked, faults.work_banked,
+                      tol);
+  // A duplicate delivery requires at least one extra send of the same lease,
+  // so suppressions can never outnumber protocol re-sends.
+  if (m.faults.duplicates_suppressed > m.faults.retransmits) {
+    std::ostringstream out;
+    out << "metrics identity: " << m.faults.duplicates_suppressed
+        << " duplicates suppressed exceed " << m.faults.retransmits << " retransmits";
+    report.violations.push_back(out.str());
+  }
   if (m.faults.false_suspicions > m.faults.fencings) {
     std::ostringstream out;
     out << "metrics identity: " << m.faults.false_suspicions << " false suspicions exceed "
@@ -256,7 +285,11 @@ AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarP
     computed += w.work;
     chunks += w.chunks;
   }
-  check_sum(report, "bytes computed", computed, w_total, options.work_tolerance);
+  // Banked work (partial-work checkpointing) is final output that no worker's
+  // outcome ledger carries: the chunk's owner was fenced mid-computation and
+  // only the remainder was re-dispatched. computed + banked covers the total.
+  check_sum(report, "bytes computed + banked", computed + faults.work_banked, w_total,
+            options.work_tolerance);
   if (chunks + faults.chunks_lost != result.chunks_dispatched) {
     std::ostringstream out;
     out << "chunk conservation: " << result.chunks_dispatched << " dispatched but " << chunks
@@ -274,6 +307,12 @@ AuditReport audit_sim_result(const sim::SimResult& result, const platform::StarP
   }
   check_sum(report, "bytes re-dispatched", faults.work_redispatched, faults.work_lost,
             options.work_tolerance);
+  // Banking conservation, at the engine-identity tolerance (1e-9, far tighter
+  // than the policy-facing work tolerance): every net-dispatched unit was
+  // either computed to completion or banked at an abort. The two sides
+  // telescope exactly — any drift here is engine bookkeeping, not noise.
+  check_sum(report, "bytes computed + banked vs net dispatched", computed + faults.work_banked,
+            result.work_dispatched - faults.work_redispatched, 1e-9);
 
   // Per-worker timing sanity against the makespan.
   for (std::size_t i = 0; i < result.workers.size(); ++i) {

@@ -16,6 +16,8 @@
 ///   - under fault injection: no completed computation overlaps the worker's
 ///     outage intervals (a dead worker produces nothing), and every chunk
 ///     reclaimed from a fenced worker was re-dispatched exactly once;
+///   - under partial-work checkpointing: banked + computed work reproduces
+///     the workload total (banked fractions are final, never recomputed);
 ///   - observability identities: uplink busy + idle time tiles the makespan,
 ///     each worker's {compute, aborted, idle, down} spans partition
 ///     [0, makespan], the DES kernel conserved events (scheduled == executed

@@ -96,6 +96,29 @@ sim::SimOptions sim_options_from_config(const ConfigFile& file) {
   tolerance.backoff_factor =
       file.get_double("faults", "backoff_factor", tolerance.backoff_factor);
   tolerance.backoff_max = file.get_double("faults", "backoff_max", tolerance.backoff_max);
+
+  auto& link = options.link;
+  link.loss = file.get_double("faults.link", "loss", link.loss);
+  link.spike_probability =
+      file.get_double("faults.link", "spike_probability", link.spike_probability);
+  link.spike_mean = file.get_double("faults.link", "spike_mean", link.spike_mean);
+  link.degraded_mtbf = file.get_double("faults.link", "degraded_mtbf", link.degraded_mtbf);
+  link.degraded_mttr = file.get_double("faults.link", "degraded_mttr", link.degraded_mttr);
+  link.degraded_factor =
+      file.get_double("faults.link", "degraded_factor", link.degraded_factor);
+
+  auto& retransmit = options.retransmit;
+  retransmit.enabled = file.get_bool("retransmit", "enabled", retransmit.enabled);
+  retransmit.alpha = file.get_double("retransmit", "alpha", retransmit.alpha);
+  retransmit.beta = file.get_double("retransmit", "beta", retransmit.beta);
+  retransmit.k = file.get_double("retransmit", "k", retransmit.k);
+  retransmit.rto_min = file.get_double("retransmit", "rto_min", retransmit.rto_min);
+  retransmit.rto_initial_factor =
+      file.get_double("retransmit", "rto_initial_factor", retransmit.rto_initial_factor);
+  retransmit.max_retries = file.get_size("retransmit", "max_retries", retransmit.max_retries);
+
+  options.checkpoint.interval =
+      file.get_double("checkpoint", "interval", options.checkpoint.interval);
   return options;
 }
 

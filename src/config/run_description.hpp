@@ -42,6 +42,26 @@
 ///   backoff_base = 1
 ///   backoff_factor = 4
 ///   backoff_max = 1024
+///
+///   [faults.link]
+///   loss = 0.05            ; per-message loss probability in [0, 1]
+///   spike_probability = 0  ; per-message latency-spike probability in [0, 1]
+///   spike_mean = 0         ; mean spike delay (seconds, Exp-distributed)
+///   degraded_mtbf = 0      ; mean clean time between degradation windows
+///   degraded_mttr = 0      ; mean degradation-window length
+///   degraded_factor = 1    ; bandwidth-term stretch inside a window (>= 1)
+///
+///   [retransmit]
+///   enabled = false        ; ACK/timeout/retransmit protocol (RFC6298-style)
+///   alpha = 0.125          ; SRTT gain
+///   beta = 0.25            ; RTTVAR gain
+///   k = 4                  ; RTO = SRTT + k x RTTVAR
+///   rto_min = 0.001        ; floor on the retransmission timeout (seconds)
+///   rto_initial_factor = 3 ; pre-sample RTO = factor x predicted round trip
+///   max_retries = 8        ; send attempts per delivery before fencing
+///
+///   [checkpoint]
+///   interval = 0           ; partial-work banking period (seconds; 0 = off)
 
 #include <memory>
 #include <string>

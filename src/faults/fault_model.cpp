@@ -52,7 +52,11 @@ void validate(const FaultSpec& spec, std::size_t workers) {
       return;
     case FaultKind::kTransient:
       if (!(spec.mtbf > 0.0) || !std::isfinite(spec.mtbf)) bad("mtbf must be positive and finite");
-      if (!(spec.mttr > 0.0) || !std::isfinite(spec.mttr)) bad("mttr must be positive and finite");
+      // mttr = 0 is legal: instant repair (zero-length outages that still
+      // destroy in-progress work).
+      if (!(spec.mttr >= 0.0) || !std::isfinite(spec.mttr)) {
+        bad("mttr must be non-negative and finite");
+      }
       return;
     case FaultKind::kScripted:
       for (const auto& [worker, outage] : spec.script) {
@@ -80,11 +84,19 @@ FaultTimeline::FaultTimeline(const FaultSpec& spec, std::size_t workers, std::ui
     for (Lane& lane : lanes_) {
       std::sort(lane.outages.begin(), lane.outages.end(),
                 [](const Outage& a, const Outage& b) { return a.down < b.down; });
-      for (std::size_t i = 1; i < lane.outages.size(); ++i) {
-        if (lane.outages[i].down < lane.outages[i - 1].up) {
-          throw std::invalid_argument("invalid FaultSpec: scripted outages overlap");
+      // Coalesce overlapping or touching intervals: a down worker going down
+      // again is still just down, and counting the overlap twice would
+      // corrupt the downtime ledger the conservation audits check. A
+      // permanent outage (infinite up) absorbs everything after it.
+      std::vector<Outage> merged;
+      for (const Outage& o : lane.outages) {
+        if (!merged.empty() && o.down <= merged.back().up) {
+          merged.back().up = std::max(merged.back().up, o.up);
+        } else {
+          merged.push_back(o);
         }
       }
+      lane.outages = std::move(merged);
       lane.exhausted = true;
     }
   }
@@ -131,6 +143,98 @@ std::optional<Outage> FaultTimeline::next_outage(std::size_t worker, des::SimTim
 bool FaultTimeline::alive_at(std::size_t worker, des::SimTime t) {
   const std::optional<Outage> outage = next_outage(worker, t);
   return !outage || t < outage->down || t >= outage->up;
+}
+
+// Link faults ---------------------------------------------------------------
+
+LinkFaultSpec LinkFaultSpec::lossy(double loss) {
+  LinkFaultSpec spec;
+  spec.loss = loss;
+  return spec;
+}
+
+LinkFaultSpec LinkFaultSpec::spiky(double probability, double mean) {
+  LinkFaultSpec spec;
+  spec.spike_probability = probability;
+  spec.spike_mean = mean;
+  return spec;
+}
+
+LinkFaultSpec LinkFaultSpec::degraded(double mtbf, double mttr, double factor) {
+  LinkFaultSpec spec;
+  spec.degraded_mtbf = mtbf;
+  spec.degraded_mttr = mttr;
+  spec.degraded_factor = factor;
+  return spec;
+}
+
+namespace {
+
+void validate(const LinkFaultSpec& spec) {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("invalid LinkFaultSpec: " + what);
+  };
+  if (spec.loss < 0.0 || spec.loss > 1.0) bad("loss must be in [0, 1]");
+  if (spec.spike_probability < 0.0 || spec.spike_probability > 1.0) {
+    bad("spike_probability must be in [0, 1]");
+  }
+  if (!(spec.spike_mean >= 0.0) || !std::isfinite(spec.spike_mean)) {
+    bad("spike_mean must be non-negative and finite");
+  }
+  if (!(spec.degraded_mtbf >= 0.0) || !std::isfinite(spec.degraded_mtbf)) {
+    bad("degraded_mtbf must be non-negative and finite");
+  }
+  if (!(spec.degraded_mttr >= 0.0) || !std::isfinite(spec.degraded_mttr)) {
+    bad("degraded_mttr must be non-negative and finite");
+  }
+  if (!(spec.degraded_factor >= 1.0) || !std::isfinite(spec.degraded_factor)) {
+    bad("degraded_factor must be >= 1 and finite");
+  }
+}
+
+/// Seed tags keeping the three fault RNG families (worker outages, link
+/// messages, degradation windows) on provably disjoint streams for the same
+/// run seed.
+constexpr std::uint64_t kLinkLaneTag = 0x11A8F417ULL;
+constexpr std::uint64_t kDegradeTag = 0xDE64ADEDULL;
+
+}  // namespace
+
+LinkTimeline::LinkTimeline(const LinkFaultSpec& spec, std::size_t workers, std::uint64_t seed)
+    : spec_(spec) {
+  validate(spec);
+  lanes_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    lanes_.emplace_back(stats::mix_seed(seed, kLinkLaneTag, w));
+  }
+  degradation_on_ = spec_.degraded_mtbf > 0.0 && spec_.degraded_factor > 1.0;
+  if (degradation_on_) {
+    degradation_ = FaultTimeline(FaultSpec::transient(spec_.degraded_mtbf, spec_.degraded_mttr),
+                                 workers, stats::mix_seed(seed, kDegradeTag, 1));
+  }
+}
+
+LinkTimeline::MessageFate LinkTimeline::message_fate(std::size_t worker, des::SimTime t) {
+  MessageFate fate;
+  if (worker >= lanes_.size()) return fate;
+  stats::Rng& rng = lanes_[worker];
+  // Always three draws, in a fixed order, so the lane layout is identical
+  // whatever this message's fate turns out to be.
+  const double u_loss = rng.uniform01();
+  const double u_spike = rng.uniform01();
+  const double u_magnitude = rng.uniform01();
+  fate.lost = u_loss < spec_.loss;
+  if (u_spike < spec_.spike_probability) {
+    fate.spike = -spec_.spike_mean * std::log1p(-u_magnitude);
+  }
+  if (degradation_on_ && !degradation_.alive_at(worker, t)) {
+    fate.stretch = spec_.degraded_factor;
+  }
+  return fate;
+}
+
+bool LinkTimeline::degraded_at(std::size_t worker, des::SimTime t) {
+  return degradation_on_ && !degradation_.alive_at(worker, t);
 }
 
 }  // namespace rumr::faults

@@ -14,15 +14,28 @@
 ///                 sampled from Exp(mtbf); `fail_probability` bounds the
 ///                 fraction of workers that ever fail.
 ///   - kTransient: crash/recover renewal process — up-times ~ Exp(mtbf),
-///                 down-times ~ Exp(mttr), repeating forever.
+///                 down-times ~ Exp(mttr), repeating forever. mttr = 0 models
+///                 instant repair: the outage is a zero-length point event
+///                 that still destroys in-progress work.
 ///   - kScripted:  explicit per-worker outage intervals, for tests and
-///                 reproducible demos.
+///                 reproducible demos. Overlapping or adjacent intervals are
+///                 coalesced at construction, so downtime is never counted
+///                 twice no matter how the script was assembled.
+///
+/// The module also models *link* faults (LinkFaultSpec / LinkTimeline): the
+/// master-worker channel itself can drop messages, stretch its bandwidth
+/// inside degradation windows, or delay a delivery with a latency spike.
+/// Worker faults remove the CPU; link faults corrupt the conversation with a
+/// CPU that is perfectly healthy — the regime where retransmission protocols
+/// and partial-work checkpointing earn their keep.
 ///
 /// Timelines are sampled lazily from per-worker RNG streams derived from the
 /// run seed, so (a) replays are byte-identical under the determinism harness
 /// regardless of query order, and (b) the engine's own RNG consumption is
 /// untouched — runs with faults disabled remain bit-for-bit identical to
-/// runs of a build without this subsystem.
+/// runs of a build without this subsystem. Link lanes are seeded with a
+/// different tag than worker lanes, and every message fate consumes exactly
+/// three uniforms, so the draw layout is independent of outcomes.
 
 #include <cstddef>
 #include <cstdint>
@@ -58,15 +71,17 @@ struct FaultSpec {
   /// (time of the single permanent failure) and kTransient.
   double mtbf = 1.0e9;
 
-  /// Mean time to repair (mean down-time), seconds. kTransient only.
+  /// Mean time to repair (mean down-time), seconds. kTransient only. 0 is
+  /// legal and means instant repair (zero-length outages).
   double mttr = 10.0;
 
   /// kFailStop: probability that a given worker ever fails. 1 = every worker
   /// eventually dies (given enough simulated time).
   double fail_probability = 1.0;
 
-  /// kScripted: explicit (worker, outage) list. Outages of one worker must
-  /// not overlap; order does not matter (sorted on construction).
+  /// kScripted: explicit (worker, outage) list. Order does not matter
+  /// (sorted on construction); overlapping or touching outages of one worker
+  /// are merged into a single interval.
   std::vector<std::pair<std::size_t, Outage>> script;
 
   [[nodiscard]] bool enabled() const noexcept { return kind != FaultKind::kNone; }
@@ -90,9 +105,9 @@ class FaultTimeline {
   /// Empty timeline: every worker always up.
   FaultTimeline() = default;
 
-  /// Throws std::invalid_argument on an invalid spec (non-positive mtbf/mttr
-  /// where used, out-of-range probability, overlapping scripted outages, or
-  /// a scripted worker index >= workers).
+  /// Throws std::invalid_argument on an invalid spec (non-positive mtbf,
+  /// negative mttr, out-of-range probability, a malformed scripted interval,
+  /// or a scripted worker index >= workers).
   FaultTimeline(const FaultSpec& spec, std::size_t workers, std::uint64_t seed);
 
   [[nodiscard]] std::size_t workers() const noexcept { return lanes_.size(); }
@@ -120,6 +135,90 @@ class FaultTimeline {
 
   FaultSpec spec_{};
   std::vector<Lane> lanes_;
+};
+
+/// Declarative description of master-worker channel faults. All axes
+/// compose; a default-constructed spec is inert (LinkTimeline then adds zero
+/// RNG draws and the engine skips the layer entirely).
+struct LinkFaultSpec {
+  /// Per-message loss probability in [0, 1]. Applies independently to each
+  /// chunk payload, each retransmission, and each ACK.
+  double loss = 0.0;
+
+  /// Per-message probability of a latency spike in [0, 1].
+  double spike_probability = 0.0;
+
+  /// Mean extra delivery delay of a spiked message, seconds (Exp-distributed).
+  /// A spike delays the arrival at the far end only; it does not extend the
+  /// serialized uplink occupancy (the congestion is in the network, not at
+  /// the master's NIC).
+  double spike_mean = 0.0;
+
+  /// Bandwidth-degradation windows: per-worker renewal process with mean
+  /// clean-time degraded_mtbf and mean window length degraded_mttr (both
+  /// seconds; degraded_mtbf = 0 disables the axis). Inside a window the
+  /// bandwidth term of a transfer is stretched by degraded_factor (latencies
+  /// are unaffected); the master's *predictions* still use the clean model,
+  /// which is exactly what makes precalculated schedules fragile here.
+  double degraded_mtbf = 0.0;
+  double degraded_mttr = 0.0;
+  double degraded_factor = 1.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return loss > 0.0 || spike_probability > 0.0 ||
+           (degraded_mtbf > 0.0 && degraded_factor > 1.0);
+  }
+
+  [[nodiscard]] static LinkFaultSpec none() noexcept { return {}; }
+  [[nodiscard]] static LinkFaultSpec lossy(double loss);
+  [[nodiscard]] static LinkFaultSpec spiky(double probability, double mean);
+  [[nodiscard]] static LinkFaultSpec degraded(double mtbf, double mttr, double factor);
+};
+
+/// Per-worker link-fault timeline: answers, for each message sent at time t,
+/// whether it is lost, how much spike delay it suffers, and by what factor
+/// the bandwidth term is stretched.
+///
+/// Each worker owns an independent RNG lane seeded with a tag distinct from
+/// the worker-fault lanes, and every message_fate() call consumes exactly
+/// three uniforms (loss, spike occurrence, spike magnitude) regardless of
+/// outcome — the draw layout never depends on what earlier messages did, so
+/// faulty runs replay exactly. Degradation windows are a lazily sampled
+/// renewal process per worker (reusing FaultTimeline with a synthesized
+/// transient spec on its own seed), queried by time, costing zero draws per
+/// message.
+class LinkTimeline {
+ public:
+  /// What the link does to one message.
+  struct MessageFate {
+    bool lost = false;       ///< Dropped in the network; never arrives.
+    double spike = 0.0;      ///< Extra delivery latency, seconds.
+    double stretch = 1.0;    ///< Bandwidth-term multiplier (>= 1).
+  };
+
+  /// Inert timeline: every message is delivered clean.
+  LinkTimeline() = default;
+
+  /// Throws std::invalid_argument on an invalid spec (probabilities outside
+  /// [0, 1], negative means, degraded_factor < 1).
+  LinkTimeline(const LinkFaultSpec& spec, std::size_t workers, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return lanes_.size(); }
+  [[nodiscard]] const LinkFaultSpec& spec() const noexcept { return spec_; }
+
+  /// Draws the fate of a message sent toward (or from) `worker` at time `t`.
+  /// Exactly three uniforms are consumed from the worker's lane per call.
+  [[nodiscard]] MessageFate message_fate(std::size_t worker, des::SimTime t);
+
+  /// Whether worker w's channel is inside a degradation window at time `t`
+  /// (costs zero RNG draws on the message lanes).
+  [[nodiscard]] bool degraded_at(std::size_t worker, des::SimTime t);
+
+ private:
+  LinkFaultSpec spec_{};
+  std::vector<stats::Rng> lanes_;
+  FaultTimeline degradation_;  ///< "Outages" are degradation windows.
+  bool degradation_on_ = false;
 };
 
 }  // namespace rumr::faults

@@ -123,6 +123,10 @@ std::string to_json(const RunMetrics& m) {
   json_histogram(out, m.engine.chunk_sizes);
   out << ",\"compute_durations\":";
   json_histogram(out, m.engine.compute_durations);
+  out << ",\"timeout_windows\":";
+  json_histogram(out, m.engine.timeout_windows);
+  out << ",\"rto_values\":";
+  json_histogram(out, m.engine.rto_values);
   out << ",\"workers\":[";
   for (std::size_t w = 0; w < m.engine.workers.size(); ++w) {
     const WorkerSpans& ws = m.engine.workers[w];
@@ -147,7 +151,16 @@ std::string to_json(const RunMetrics& m) {
       << ",\"false_suspicions\":" << m.faults.false_suspicions
       << ",\"backoff_retries\":" << m.faults.backoff_retries
       << ",\"rejoins\":" << m.faults.rejoins << ",\"chunks_lost\":" << m.faults.chunks_lost
-      << ",\"chunks_redispatched\":" << m.faults.chunks_redispatched << "}}";
+      << ",\"chunks_redispatched\":" << m.faults.chunks_redispatched
+      << ",\"messages_lost\":" << m.faults.messages_lost
+      << ",\"latency_spikes\":" << m.faults.latency_spikes
+      << ",\"degraded_sends\":" << m.faults.degraded_sends
+      << ",\"retransmits\":" << m.faults.retransmits << ",\"work_retransmitted\":";
+  json_number(out, m.faults.work_retransmitted);
+  out << ",\"duplicates_suppressed\":" << m.faults.duplicates_suppressed
+      << ",\"checkpoints_banked\":" << m.faults.checkpoints_banked << ",\"work_banked\":";
+  json_number(out, m.faults.work_banked);
+  out << "}}";
   return out.str();
 }
 
@@ -226,6 +239,16 @@ void write_csv(std::ostream& out, const RunMetrics& m) {
   csv_row(out, "faults.chunks_lost", static_cast<std::uint64_t>(m.faults.chunks_lost));
   csv_row(out, "faults.chunks_redispatched",
           static_cast<std::uint64_t>(m.faults.chunks_redispatched));
+  csv_row(out, "faults.messages_lost", static_cast<std::uint64_t>(m.faults.messages_lost));
+  csv_row(out, "faults.latency_spikes", static_cast<std::uint64_t>(m.faults.latency_spikes));
+  csv_row(out, "faults.degraded_sends", static_cast<std::uint64_t>(m.faults.degraded_sends));
+  csv_row(out, "faults.retransmits", static_cast<std::uint64_t>(m.faults.retransmits));
+  csv_row(out, "faults.work_retransmitted", m.faults.work_retransmitted);
+  csv_row(out, "faults.duplicates_suppressed",
+          static_cast<std::uint64_t>(m.faults.duplicates_suppressed));
+  csv_row(out, "faults.checkpoints_banked",
+          static_cast<std::uint64_t>(m.faults.checkpoints_banked));
+  csv_row(out, "faults.work_banked", m.faults.work_banked);
 }
 
 std::string to_csv(const RunMetrics& m) {

@@ -146,6 +146,12 @@ struct EngineStats {
   std::vector<WorkerSpans> workers;
   Histogram chunk_sizes;        ///< Dispatched chunk sizes (workload units).
   Histogram compute_durations;  ///< Actual (perturbed) computation durations.
+  /// Completion-watchdog windows armed (seconds of allowed lateness). Empty
+  /// unless a fault layer is enabled.
+  Histogram timeout_windows;
+  /// Retransmission timeouts armed by the ACK protocol (RFC6298 RTO values,
+  /// seconds). Empty unless retransmit is enabled.
+  Histogram rto_values;
 };
 
 /// Fault-layer statistics for one run (all zero when faults are disabled).
@@ -158,6 +164,18 @@ struct FaultStats {
   std::size_t rejoins = 0;           ///< Fenced workers re-admitted.
   std::size_t chunks_lost = 0;
   std::size_t chunks_redispatched = 0;
+
+  // Link-fault / retransmit-protocol counters (zero when those layers are off).
+  std::size_t messages_lost = 0;   ///< Payloads and ACKs dropped in the network.
+  std::size_t latency_spikes = 0;  ///< Messages delayed by a latency spike.
+  std::size_t degraded_sends = 0;  ///< Payload sends inside a degradation window.
+  std::size_t retransmits = 0;     ///< Chunk payloads re-sent by the protocol.
+  double work_retransmitted = 0.0; ///< Workload units in those re-sends.
+  std::size_t duplicates_suppressed = 0;  ///< Duplicate deliveries dropped by lease id.
+
+  // Partial-work checkpointing counters (zero when checkpoint.interval == 0).
+  std::size_t checkpoints_banked = 0;  ///< Aborted computations that banked progress.
+  double work_banked = 0.0;            ///< Workload units banked (never recomputed).
 };
 
 /// The full per-run metrics record carried on sim::SimResult.

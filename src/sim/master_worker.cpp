@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <set>
 #include <utility>
 #include <limits>
 #include <sstream>
@@ -36,7 +37,7 @@ std::vector<std::string> SimOptions::validate() const {
   if (!(work_tolerance > 0.0) || !std::isfinite(work_tolerance)) {
     errors.emplace_back("work_tolerance must be positive and finite");
   }
-  if (faults.enabled()) {
+  if (faults.enabled() || link.enabled() || retransmit.enabled) {
     if (!(fault_tolerance.timeout_slack > 1.0) || !std::isfinite(fault_tolerance.timeout_slack)) {
       errors.emplace_back("fault_tolerance.timeout_slack must be > 1 and finite");
     }
@@ -44,6 +45,40 @@ std::vector<std::string> SimOptions::validate() const {
         !(fault_tolerance.backoff_max >= 0.0)) {
       errors.emplace_back("fault_tolerance backoff parameters are malformed");
     }
+  }
+  if (link.loss < 0.0 || link.loss > 1.0) errors.emplace_back("link.loss must be in [0, 1]");
+  if (link.spike_probability < 0.0 || link.spike_probability > 1.0) {
+    errors.emplace_back("link.spike_probability must be in [0, 1]");
+  }
+  if (!(link.spike_mean >= 0.0) || !std::isfinite(link.spike_mean)) {
+    errors.emplace_back("link.spike_mean must be non-negative and finite");
+  }
+  if (!(link.degraded_mtbf >= 0.0) || !std::isfinite(link.degraded_mtbf) ||
+      !(link.degraded_mttr >= 0.0) || !std::isfinite(link.degraded_mttr) ||
+      !(link.degraded_factor >= 1.0) || !std::isfinite(link.degraded_factor)) {
+    errors.emplace_back(
+        "link degradation parameters are malformed (mtbf/mttr >= 0, factor >= 1, all finite)");
+  }
+  if (retransmit.enabled) {
+    if (!(retransmit.alpha > 0.0) || !(retransmit.alpha < 1.0) || !(retransmit.beta > 0.0) ||
+        !(retransmit.beta < 1.0)) {
+      errors.emplace_back("retransmit alpha and beta must be in (0, 1)");
+    }
+    if (!(retransmit.k > 0.0) || !std::isfinite(retransmit.k)) {
+      errors.emplace_back("retransmit.k must be positive and finite");
+    }
+    if (!(retransmit.rto_min > 0.0) || !std::isfinite(retransmit.rto_min)) {
+      errors.emplace_back("retransmit.rto_min must be positive and finite");
+    }
+    if (!(retransmit.rto_initial_factor >= 1.0) || !std::isfinite(retransmit.rto_initial_factor)) {
+      errors.emplace_back("retransmit.rto_initial_factor must be >= 1 and finite");
+    }
+    if (retransmit.max_retries == 0) {
+      errors.emplace_back("retransmit.max_retries must be >= 1");
+    }
+  }
+  if (!(checkpoint.interval >= 0.0) || !std::isfinite(checkpoint.interval)) {
+    errors.emplace_back("checkpoint.interval must be non-negative and finite");
   }
   return errors;
 }
@@ -69,6 +104,50 @@ struct DispatchRecord {
   /// worker computes later chunks first, and popping FIFO would reclaim (and
   /// recompute) a chunk that already completed.
   std::uint64_t lease = 0;
+
+  // Retransmit-protocol state (meaningful only when retransmit is enabled).
+  des::SimTime dispatched_at = 0.0;  ///< First send start: RTT anchor.
+  double rto = 0.0;                  ///< Current retransmission timeout.
+  std::size_t attempts = 1;          ///< Payload sends so far (1 = original).
+  bool acked = false;                ///< First ACK seen; retransmission stops.
+  bool retransmitted = false;        ///< Karn's rule: ACKs give no RTT sample.
+  des::EventId retx_event = 0;       ///< Pending retransmission timer.
+};
+
+/// A payload awaiting retransmission (its timer fired while the uplink was
+/// busy, or it is queued behind other re-sends).
+struct RetxItem {
+  std::size_t worker = 0;
+  std::uint64_t lease = 0;
+};
+
+/// The computation a worker is currently running — what partial-work
+/// checkpointing banks from when the computation is aborted.
+struct ActiveCompute {
+  std::uint64_t lease = 0;
+  double chunk = 0.0;
+  double actual_comp = 0.0;     ///< Perturbed (true) duration of the whole chunk.
+  des::SimTime started = 0.0;
+};
+
+/// RFC6298-style smoothed estimator: SRTT + RTTVAR over a stream of samples.
+/// Used twice — over payload->ACK round trips (retransmission timeout) and
+/// over completion-time inflation ratios (adaptive fencing watchdog).
+struct SmoothedEstimator {
+  bool has_sample = false;
+  double srtt = 0.0;
+  double rttvar = 0.0;
+
+  void sample(double value, double alpha, double beta) {
+    if (!has_sample) {
+      srtt = value;
+      rttvar = value / 2.0;
+      has_sample = true;
+    } else {
+      rttvar = (1.0 - beta) * rttvar + beta * std::abs(srtt - value);
+      srtt = (1.0 - alpha) * srtt + alpha * value;
+    }
+  }
 };
 
 /// A reclaimed chunk awaiting re-dispatch. `was_dispatched` is false for a
@@ -125,6 +204,27 @@ class Engine final : public MasterContext {
       // Throws std::invalid_argument on a malformed FaultSpec.
       timeline_ = faults::FaultTimeline(options.faults, platform.size(), options.seed);
     }
+    // The recovery machinery (leases, watchdog, re-dispatch) arms whenever
+    // anything can take a dispatched chunk away from its worker: worker
+    // faults, a faulty link, or the retransmit protocol itself. With all
+    // three disabled the whole layer is inert — zero events, zero RNG draws.
+    link_on_ = options.link.enabled();
+    retransmit_on_ = options.retransmit.enabled;
+    checkpoint_on_ = options.checkpoint.interval > 0.0;
+    recovery_on_ = faults_on_ || link_on_ || retransmit_on_;
+    if (link_on_) {
+      // Dedicated per-worker message lanes; never touches rng_.
+      link_ = faults::LinkTimeline(options.link, platform.size(), options.seed);
+    }
+    if (recovery_on_) active_.resize(platform.size());
+    if (retransmit_on_) {
+      reserved_.assign(platform.size(), 0);
+      accepted_leases_.resize(platform.size());
+      rtt_.resize(platform.size());
+      ratio_.resize(platform.size());
+    }
+    timeout_hist_ = obs::Histogram::exponential(kTimeoutHistFirstEdge, 2.0, kTimeoutHistBuckets);
+    rto_hist_ = obs::Histogram::exponential(kTimeoutHistFirstEdge, 2.0, kTimeoutHistBuckets);
   }
 
   // MasterContext -----------------------------------------------------------
@@ -145,8 +245,18 @@ class Engine final : public MasterContext {
       for (std::size_t w = 0; w < platform_.size(); ++w) schedule_ground_fault(w, 0.0);
     }
     try_dispatch();
-    if (faults_on_) maybe_finish();  // Zero-work edge: nothing was ever pending.
-    sim_.run();
+    if (recovery_on_) maybe_finish();  // Zero-work edge: nothing was ever pending.
+    const std::size_t budget =
+        options_.max_events > 0 ? options_.max_events : des::Simulator::kDefaultMaxEvents;
+    sim_.run(budget);
+    if (sim_.events_pending() > 0) {
+      std::ostringstream msg;
+      msg << "policy '" << policy_.name() << "' exhausted the event budget (" << budget
+          << " events) at t=" << sim_.now() << " with " << sim_.events_pending()
+          << " events pending — the run is not converging (livelock or runaway fault churn)";
+      describe_workers(msg);
+      throw SimError(msg.str());
+    }
     const double wall_seconds =
         // rumr-lint: allow(wall-clock) closes the obs events/sec measurement opened above
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
@@ -180,9 +290,12 @@ class Engine final : public MasterContext {
 
  private:
   /// Buffer slots committed at worker w: chunks received but not yet
-  /// computing, plus chunks in flight toward it.
+  /// computing, plus chunks in flight toward it. In retransmit mode the
+  /// in-flight term is replaced by the per-lease reservation count — a lost
+  /// payload keeps its slot reserved until the retransmission lands (or the
+  /// worker is fenced), so re-sends can never overcommit the buffer.
   [[nodiscard]] std::size_t committed_slots(std::size_t w) const {
-    return queues_[w].size() + in_flight_[w];
+    return queues_[w].size() + (retransmit_on_ ? reserved_[w] : in_flight_[w]);
   }
 
   /// Packages the probes' accounting into the RunMetrics record. Closes the
@@ -215,6 +328,8 @@ class Engine final : public MasterContext {
     m.engine.work_redispatched = fstats_.work_redispatched;
     m.engine.chunk_sizes = std::move(chunk_hist_);
     m.engine.compute_durations = std::move(comp_hist_);
+    m.engine.timeout_windows = std::move(timeout_hist_);
+    m.engine.rto_values = std::move(rto_hist_);
 
     m.faults.failures = fstats_.failures;
     m.faults.recoveries = fstats_.recoveries;
@@ -224,6 +339,14 @@ class Engine final : public MasterContext {
     m.faults.rejoins = fstats_.rejoins;
     m.faults.chunks_lost = fstats_.chunks_lost;
     m.faults.chunks_redispatched = fstats_.chunks_redispatched;
+    m.faults.messages_lost = fstats_.messages_lost;
+    m.faults.latency_spikes = fstats_.latency_spikes;
+    m.faults.degraded_sends = fstats_.degraded_sends;
+    m.faults.retransmits = fstats_.retransmits;
+    m.faults.work_retransmitted = fstats_.work_retransmitted;
+    m.faults.duplicates_suppressed = fstats_.duplicates_suppressed;
+    m.faults.checkpoints_banked = fstats_.checkpoints_banked;
+    m.faults.work_banked = fstats_.work_banked;
     return m;
   }
 
@@ -279,11 +402,15 @@ class Engine final : public MasterContext {
     schedule_ground_fault(w, sim_.now());
   }
 
-  /// Cuts short the computation in progress at w (if any). The partial
-  /// result is discarded; the trace span is truncated and re-labeled.
+  /// Cuts short the computation in progress at w (if any). With partial-work
+  /// checkpointing the banked fraction survives (the lease's dispatch record
+  /// shrinks to the remainder); the rest is discarded. The trace span is
+  /// truncated and re-labeled.
   void abort_compute(std::size_t w) {
     if (!computing_[w]) return;
     computing_[w] = false;
+    if (checkpoint_on_) bank_progress(w);
+    if (recovery_on_) active_[w] = ActiveCompute{};
     probe_.compute_abort(w, sim_.now());
     sim_.cancel(compute_event_[w]);
     compute_event_[w] = 0;
@@ -291,6 +418,39 @@ class Engine final : public MasterContext {
       trace_.truncate(compute_span_[w], sim_.now(), SpanKind::kAborted);
     }
     compute_span_[w] = kNoSpan;
+  }
+
+  /// The master-side lease record with this id, or nullptr once settled.
+  [[nodiscard]] DispatchRecord* find_record(std::size_t w, std::uint64_t lease) {
+    for (DispatchRecord& rec : dispatch_records_[w]) {
+      if (rec.lease == lease) return &rec;
+    }
+    return nullptr;
+  }
+
+  /// Partial-work checkpointing: the aborted computation banked the fraction
+  /// of its chunk completed by the last checkpoint tick. The banked work is
+  /// final — the lease's dispatch record is reduced to the remainder, so a
+  /// later fence reclaims (and re-dispatches) only what was actually lost.
+  void bank_progress(std::size_t w) {
+    const ActiveCompute& ac = active_[w];
+    if (!(ac.actual_comp > 0.0)) return;
+    const double interval = options_.checkpoint.interval;
+    const double elapsed = sim_.now() - ac.started;
+    const double ticks = std::floor(elapsed / interval);
+    if (ticks <= 0.0) return;
+    // Cap strictly below the whole chunk: an abort racing the completion
+    // event at the same timestamp must still leave a positive remainder to
+    // re-dispatch.
+    const double fraction = std::min(ticks * interval / ac.actual_comp, 1.0 - 1e-9);
+    const double banked = ac.chunk * fraction;
+    if (!(banked > 0.0)) return;
+    DispatchRecord* rec = find_record(w, ac.lease);
+    RUMR_CHECK(rec != nullptr, "banked progress for a lease with no dispatch record");
+    if (rec == nullptr) return;
+    rec->chunk -= banked;
+    ++fstats_.checkpoints_banked;
+    fstats_.work_banked += banked;
   }
 
   /// Schedules re-admission of a fenced worker at the end of its blacklist
@@ -322,14 +482,24 @@ class Engine final : public MasterContext {
   /// if no completion arrives within timeout_slack times the predicted
   /// remaining duration, the worker is presumed lost. One timer per worker.
   void arm_timeout(std::size_t w) {
-    if (!faults_on_ || timeout_event_[w] != 0 || dispatch_records_[w].empty()) return;
+    if (!recovery_on_ || timeout_event_[w] != 0 || dispatch_records_[w].empty()) return;
     const DispatchRecord& head = dispatch_records_[w].front();
     // The floor of one predicted compute time keeps the window sane when the
     // prediction is already overdue (predicted_completion < now).
     const double remaining =
         std::max(head.predicted_completion - sim_.now(), head.predicted_comp);
-    const des::SimTime deadline =
-        sim_.now() + options_.fault_tolerance.timeout_slack * remaining;
+    // With the retransmit protocol the fixed timeout_slack is only the
+    // bootstrap: once this worker has completion history, the EWMA + variance
+    // of its observed completion-time inflation (actual round trip over
+    // predicted, RFC6298 shape) sets the slack adaptively.
+    double slack = options_.fault_tolerance.timeout_slack;
+    if (retransmit_on_ && ratio_[w].has_sample) {
+      slack = std::max(kAdaptiveSlackFloor,
+                       ratio_[w].srtt + options_.retransmit.k * ratio_[w].rttvar);
+    }
+    const double window = slack * remaining;
+    timeout_hist_.add(window);
+    const des::SimTime deadline = sim_.now() + window;
     timeout_event_[w] = sim_.schedule_at(deadline, [this, w] {
       timeout_event_[w] = 0;
       fence(w);
@@ -357,7 +527,15 @@ class Engine final : public MasterContext {
                      std::pow(ft.backoff_factor, static_cast<double>(suspicions_[w] - 1)));
     blacklist_until_[w] = sim_.now() + backoff;
 
-    for (const DispatchRecord& rec : dispatch_records_[w]) {
+    // Abort the running computation *before* reclaiming the records: with
+    // checkpointing on, the abort banks the completed fraction and shrinks
+    // the matching record, so the loop below reclaims only the remainder.
+    abort_compute(w);
+    for (DispatchRecord& rec : dispatch_records_[w]) {
+      if (rec.retx_event != 0) {
+        sim_.cancel(rec.retx_event);
+        rec.retx_event = 0;
+      }
       redispatch_queue_.push_back({rec.chunk, true});
       ++fstats_.chunks_lost;
       fstats_.work_lost += rec.chunk;
@@ -368,7 +546,12 @@ class Engine final : public MasterContext {
     st.predicted_ready = sim_.now();
     ++lease_epoch_[w];
     queues_[w].clear();
-    abort_compute(w);
+    if (retransmit_on_) {
+      // Every reservation belonged to a reclaimed lease; the epoch bump
+      // makes old leases unreachable, so the suppression set can be dropped.
+      reserved_[w] = 0;
+      accepted_leases_[w].clear();
+    }
 
     // A rendezvous send blocked on this worker is reclaimed too. It was
     // never counted as dispatched (begin_send did not run), so it re-enters
@@ -420,11 +603,20 @@ class Engine final : public MasterContext {
   /// fault-layer event so the simulation can end (a transient timeline would
   /// otherwise generate outages forever).
   void maybe_finish() {
-    if (!faults_on_ || work_all_done_) return;
+    if (!recovery_on_ || work_all_done_) return;
     if (!policy_.finished() || !redispatch_queue_.empty() || pending_send_) return;
     for (std::size_t w = 0; w < platform_.size(); ++w) {
       if (status_[w].outstanding != 0) return;
     }
+    // retx_queue_ is deliberately NOT a finish blocker: a dispatch record
+    // exists exactly while its chunk is outstanding, so with every worker at
+    // outstanding == 0 any queued retransmission is already settled (its
+    // record was erased by the completion or fence that zeroed the count) and
+    // drain_retransmissions would only discard it. Gating on the queue here
+    // livelocks: when the final completion lands while the uplink is busy,
+    // the settled item survives this call, is dropped later inside
+    // try_dispatch (which never re-checks finish), and a transient fault
+    // timeline then respawns outage events forever.
     if (!output_queue_.empty() || downlink_busy_) return;
     work_all_done_ = true;
     for (std::size_t w = 0; w < platform_.size(); ++w) {
@@ -435,8 +627,25 @@ class Engine final : public MasterContext {
     }
   }
 
+  /// Pulls payloads whose retransmission timer fired back onto the uplink.
+  /// Runs ahead of the re-dispatch pool: a retransmission races a watchdog
+  /// fence, so it gets the channel first.
+  void drain_retransmissions() {
+    while (busy_channels_ < options_.uplink_channels && !pending_send_ && !retx_queue_.empty()) {
+      const RetxItem item = retx_queue_.front();
+      retx_queue_.pop_front();
+      DispatchRecord* rec = find_record(item.worker, item.lease);
+      // Settled (ACKed, completed, or fenced) while queued: nothing to send.
+      if (rec == nullptr || rec->acked || believed_down_[item.worker]) continue;
+      begin_retransmit(item.worker, *rec);
+    }
+  }
+
   void try_dispatch() {
-    if (faults_on_) drain_redispatch();
+    if (recovery_on_) {
+      if (retransmit_on_) drain_retransmissions();
+      drain_redispatch();
+    }
     // The pending (blocked) send is the head of the master's queue; nothing
     // may overtake it.
     while (busy_channels_ < options_.uplink_channels && !pending_send_) {
@@ -474,6 +683,25 @@ class Engine final : public MasterContext {
     });
   }
 
+  /// Draws the link fate of a message toward/from w (payload or ACK) and
+  /// applies the bandwidth-degradation stretch to the serialized basis. Zero
+  /// RNG-lane draws when the link layer is off.
+  [[nodiscard]] faults::LinkTimeline::MessageFate link_fate(std::size_t w, double& serial_basis) {
+    faults::LinkTimeline::MessageFate fate;
+    if (!link_on_) return fate;
+    fate = link_.message_fate(w, sim_.now());
+    if (fate.stretch > 1.0) {
+      // Only the bandwidth term stretches inside a degradation window; the
+      // latencies are unaffected. The master's predictions keep the clean
+      // model — it does not know the window exists.
+      const double latency = platform_.worker(w).comm_latency;
+      serial_basis = latency + (serial_basis - latency) * fate.stretch;
+    }
+    if (fate.lost) ++fstats_.messages_lost;
+    if (fate.spike > 0.0) ++fstats_.latency_spikes;
+    return fate;
+  }
+
   void begin_send(const Dispatch& d) {
     const std::size_t w = d.worker;
     const double chunk = d.chunk;
@@ -481,12 +709,16 @@ class Engine final : public MasterContext {
     const double predicted_serial = platform_.comm_serial_time(w, chunk);
     const double predicted_tail = platform_.worker(w).transfer_latency;
     const double predicted_comp = platform_.comp_time(w, chunk);
-    const double actual_serial = comm_process_.actual_duration(predicted_serial, rng_);
+
+    double serial_basis = predicted_serial;
+    const faults::LinkTimeline::MessageFate fate = link_fate(w, serial_basis);
+    if (fate.stretch > 1.0) ++fstats_.degraded_sends;
+    const double actual_serial = comm_process_.actual_duration(serial_basis, rng_);
     const double actual_tail = comm_process_.actual_duration(predicted_tail, rng_);
 
     const des::SimTime t0 = sim_.now();
     const des::SimTime uplink_free = t0 + actual_serial;
-    const des::SimTime arrival = uplink_free + actual_tail;
+    const des::SimTime arrival = uplink_free + actual_tail + fate.spike;
 
     ++busy_channels_;
     RUMR_CHECK(busy_channels_ <= options_.uplink_channels, "uplink channel overcommitted");
@@ -497,6 +729,7 @@ class Engine final : public MasterContext {
     ++chunks_dispatched_;
     work_dispatched_ += chunk;
     ++in_flight_[w];
+    if (retransmit_on_) ++reserved_[w];
     RUMR_CHECK(committed_slots(w) <= options_.worker_buffer_capacity,
                "worker receive buffer overcommitted");
 
@@ -508,17 +741,24 @@ class Engine final : public MasterContext {
     st.predicted_ready = std::max(st.predicted_ready, predicted_arrival) + predicted_comp;
     pending_pred_comp_[w].push_back(predicted_comp);
 
-    const std::uint64_t lease = faults_on_ ? ++next_lease_ : 0;
-    if (faults_on_) {
+    const std::uint64_t lease = recovery_on_ ? ++next_lease_ : 0;
+    if (recovery_on_) {
       // Lease record: predicted_ready now equals this chunk's predicted
       // completion time, which is what the watchdog times against.
       dispatch_records_[w].push_back({chunk, st.predicted_ready, predicted_comp, lease});
+      DispatchRecord& rec = dispatch_records_[w].back();
+      rec.dispatched_at = t0;
+      if (retransmit_on_) {
+        const double predicted_round_trip = 2.0 * (predicted_serial + predicted_tail);
+        rec.rto = initial_rto(w, predicted_round_trip);
+        arm_retransmit(w, rec, t0);
+      }
       arm_timeout(w);
     }
 
     if (options_.record_trace) {
       trace_.add({SpanKind::kUplink, w, chunk, t0, uplink_free});
-      if (actual_tail > 0.0) trace_.add({SpanKind::kTail, w, chunk, uplink_free, arrival});
+      if (arrival > uplink_free) trace_.add({SpanKind::kTail, w, chunk, uplink_free, arrival});
     }
 
     sim_.schedule_at(uplink_free, [this] {
@@ -527,26 +767,173 @@ class Engine final : public MasterContext {
       probe_.uplink_channels(busy_channels_, sim_.now());
       try_dispatch();
     });
-    const std::size_t epoch = faults_on_ ? lease_epoch_[w] : 0;
+    const std::size_t epoch = recovery_on_ ? lease_epoch_[w] : 0;
     const double recv_duration = actual_serial + actual_tail;
-    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp, epoch, lease, recv_duration] {
+    schedule_arrival(arrival, w, chunk, predicted_comp, epoch, lease, recv_duration, fate.lost);
+  }
+
+  /// Physically re-sends an outstanding payload (retransmit protocol). The
+  /// uplink is occupied like any transfer, but the dispatch ledgers are
+  /// untouched — a retransmission is the same chunk again, not new work —
+  /// and the buffer reservation taken at the original send still stands.
+  void begin_retransmit(std::size_t w, DispatchRecord& rec) {
+    const double chunk = rec.chunk;
+    const double predicted_serial = platform_.comm_serial_time(w, chunk);
+    const double predicted_tail = platform_.worker(w).transfer_latency;
+
+    double serial_basis = predicted_serial;
+    const faults::LinkTimeline::MessageFate fate = link_fate(w, serial_basis);
+    if (fate.stretch > 1.0) ++fstats_.degraded_sends;
+    const double actual_serial = comm_process_.actual_duration(serial_basis, rng_);
+    const double actual_tail = comm_process_.actual_duration(predicted_tail, rng_);
+
+    const des::SimTime t0 = sim_.now();
+    const des::SimTime uplink_free = t0 + actual_serial;
+    const des::SimTime arrival = uplink_free + actual_tail + fate.spike;
+
+    ++busy_channels_;
+    RUMR_CHECK(busy_channels_ <= options_.uplink_channels, "uplink channel overcommitted");
+    probe_.uplink_channels(busy_channels_, t0);
+    uplink_busy_time_ += actual_serial;
+    ++in_flight_[w];
+
+    ++fstats_.retransmits;
+    fstats_.work_retransmitted += chunk;
+    ++rec.attempts;
+    rec.retransmitted = true;  // Karn: this lease's ACKs no longer sample RTT.
+    rec.rto *= 2.0;            // Exponential backoff (RFC6298 section 5.5).
+    arm_retransmit(w, rec, t0);
+
+    if (options_.record_trace) {
+      trace_.add({SpanKind::kUplink, w, chunk, t0, uplink_free});
+      if (arrival > uplink_free) trace_.add({SpanKind::kTail, w, chunk, uplink_free, arrival});
+    }
+
+    sim_.schedule_at(uplink_free, [this] {
+      RUMR_CHECK(busy_channels_ > 0, "uplink released while no transfer was in progress");
+      --busy_channels_;
+      probe_.uplink_channels(busy_channels_, sim_.now());
+      try_dispatch();
+    });
+    const double recv_duration = actual_serial + actual_tail;
+    schedule_arrival(arrival, w, chunk, rec.predicted_comp, lease_epoch_[w], rec.lease,
+                     recv_duration, fate.lost);
+  }
+
+  /// Common delivery path for originals and retransmissions.
+  void schedule_arrival(des::SimTime arrival, std::size_t w, double chunk, double predicted_comp,
+                        std::size_t epoch, std::uint64_t lease, double recv_duration, bool lost) {
+    sim_.schedule_at(arrival, [this, w, chunk, predicted_comp, epoch, lease, recv_duration,
+                               lost] {
       RUMR_CHECK(in_flight_[w] > 0, "chunk arrived at a worker with nothing in flight");
       --in_flight_[w];
-      if (faults_on_ && (epoch != lease_epoch_[w] || !ground_alive_[w])) {
+      if (recovery_on_ && (epoch != lease_epoch_[w] || !ground_alive_[w])) {
         // Stale lease (the worker was fenced after this send — the chunk was
         // already reclaimed) or a dead target: the payload evaporates. The
         // freed buffer slot may let a queued re-dispatch proceed.
-        if (!redispatch_queue_.empty()) try_dispatch();
+        if (!redispatch_queue_.empty() || !retx_queue_.empty()) try_dispatch();
         return;
       }
-      probe_.chunk_received(w, recv_duration);
-      queues_[w].push_back({chunk, predicted_comp, lease});
-      maybe_start_compute(w);
+      if (lost) {
+        // Dropped in the network, not at the worker. In retransmit mode the
+        // pending timer re-sends it; otherwise the completion watchdog
+        // eventually fences the worker and reclaims the lease.
+        if (!redispatch_queue_.empty() || !retx_queue_.empty()) try_dispatch();
+        return;
+      }
+      deliver_payload(w, chunk, predicted_comp, lease, recv_duration);
     });
   }
 
+  /// The payload physically reached a live worker with a current lease.
+  void deliver_payload(std::size_t w, double chunk, double predicted_comp, std::uint64_t lease,
+                       double recv_duration) {
+    if (retransmit_on_) {
+      if (accepted_leases_[w].count(lease) != 0) {
+        // Duplicate of an already-accepted delivery (the original and a
+        // retransmission both made it). Suppressed — but re-ACKed, so a
+        // master that missed the first ACK stops re-sending.
+        ++fstats_.duplicates_suppressed;
+        send_ack(w, lease);
+        if (!redispatch_queue_.empty() || !retx_queue_.empty()) try_dispatch();
+        return;
+      }
+      accepted_leases_[w].insert(lease);
+      RUMR_CHECK(reserved_[w] > 0, "accepted delivery with no reserved buffer slot");
+      --reserved_[w];
+      send_ack(w, lease);
+    }
+    probe_.chunk_received(w, recv_duration);
+    queues_[w].push_back({chunk, predicted_comp, lease});
+    maybe_start_compute(w);
+  }
+
+  /// The worker acknowledges an accepted payload. ACKs ride the reverse
+  /// channel: no bandwidth term (they are tiny), but the same loss and spike
+  /// model as payloads — a lost ACK costs a spurious retransmission, which
+  /// duplicate suppression absorbs. Zero main-RNG draws.
+  void send_ack(std::size_t w, std::uint64_t lease) {
+    const platform::WorkerSpec& spec = platform_.worker(w);
+    double serial_basis = 0.0;  // No bandwidth term to stretch.
+    const faults::LinkTimeline::MessageFate fate = link_fate(w, serial_basis);
+    if (fate.lost) return;  // The master never sees it; the timer re-sends.
+    const des::SimTime at =
+        sim_.now() + spec.comm_latency + spec.transfer_latency + fate.spike;
+    sim_.schedule_at(at, [this, w, lease] { on_ack(w, lease); });
+  }
+
+  /// Master side: an ACK for (w, lease) arrived. Settles the retransmission
+  /// timer and, per Karn's rule, feeds the RTT estimator only when the
+  /// delivery was never retransmitted.
+  void on_ack(std::size_t w, std::uint64_t lease) {
+    DispatchRecord* rec = find_record(w, lease);
+    if (rec == nullptr || rec->acked) return;  // Settled, fenced, or duplicate ACK.
+    rec->acked = true;
+    if (rec->retx_event != 0) {
+      sim_.cancel(rec->retx_event);
+      rec->retx_event = 0;
+    }
+    if (!rec->retransmitted) {
+      rtt_[w].sample(sim_.now() - rec->dispatched_at, options_.retransmit.alpha,
+                     options_.retransmit.beta);
+    }
+  }
+
+  /// RTO for a fresh delivery toward w: the RFC6298 estimate once the worker
+  /// has RTT history, else a multiple of the model-predicted round trip.
+  [[nodiscard]] double initial_rto(std::size_t w, double predicted_round_trip) const {
+    const auto& rt = options_.retransmit;
+    if (rtt_[w].has_sample) {
+      return std::max(rt.rto_min, rtt_[w].srtt + rt.k * rtt_[w].rttvar);
+    }
+    return std::max(rt.rto_min, rt.rto_initial_factor * predicted_round_trip);
+  }
+
+  /// Arms the retransmission timer for one delivery at sent_at + rto.
+  void arm_retransmit(std::size_t w, DispatchRecord& rec, des::SimTime sent_at) {
+    rto_hist_.add(rec.rto);
+    rec.retx_event = sim_.schedule_at(sent_at + rec.rto, [this, w, lease = rec.lease] {
+      on_retransmit_timer(w, lease);
+    });
+  }
+
+  /// No ACK within the RTO: queue a re-send, or fence the worker once the
+  /// retry budget is exhausted.
+  void on_retransmit_timer(std::size_t w, std::uint64_t lease) {
+    DispatchRecord* rec = find_record(w, lease);
+    if (rec == nullptr) return;
+    rec->retx_event = 0;
+    if (rec->acked) return;
+    if (rec->attempts >= options_.retransmit.max_retries) {
+      fence(w);
+      return;
+    }
+    retx_queue_.push_back({w, lease});
+    try_dispatch();
+  }
+
   void maybe_start_compute(std::size_t w) {
-    if (faults_on_ && !ground_alive_[w]) return;
+    if (recovery_on_ && !ground_alive_[w]) return;
     if (computing_[w] || queues_[w].empty()) return;
     const QueuedChunk next = queues_[w].front();
     queues_[w].pop_front();
@@ -573,27 +960,31 @@ class Engine final : public MasterContext {
     WorkerOutcome& out = outcomes_[w];
     if (out.chunks == 0) out.first_start = t0;
     if (options_.record_trace) {
-      if (faults_on_) compute_span_[w] = trace_.size();
+      if (recovery_on_) compute_span_[w] = trace_.size();
       trace_.add({SpanKind::kCompute, w, next.chunk, t0, t1});
     }
 
     const des::EventId done = sim_.schedule_at(t1, [this, w, next, actual_comp, t1] {
       complete_chunk(w, next, actual_comp, t1);
     });
-    if (faults_on_) compute_event_[w] = done;
+    if (recovery_on_) {
+      compute_event_[w] = done;
+      active_[w] = ActiveCompute{next.lease, next.chunk, actual_comp, t0};
+    }
 
-    // The freed slot may also admit a queued re-dispatch.
-    if (faults_on_ && !redispatch_queue_.empty()) try_dispatch();
+    // The freed slot may also admit a queued re-dispatch or re-send.
+    if (recovery_on_ && (!redispatch_queue_.empty() || !retx_queue_.empty())) try_dispatch();
   }
 
   void complete_chunk(std::size_t w, const QueuedChunk& done, double actual_comp,
                       des::SimTime t1) {
     RUMR_CHECK(computing_[w], "completion for a worker that was not computing");
     computing_[w] = false;
-    if (faults_on_) {
+    if (recovery_on_) {
       RUMR_CHECK(ground_alive_[w], "completion from a ground-dead worker");
       compute_event_[w] = 0;
       compute_span_[w] = kNoSpan;
+      active_[w] = ActiveCompute{};
       if (timeout_event_[w] != 0) {
         sim_.cancel(timeout_event_[w]);
         timeout_event_[w] = 0;
@@ -603,6 +994,20 @@ class Engine final : public MasterContext {
       auto& records = dispatch_records_[w];
       for (auto it = records.begin(); it != records.end(); ++it) {
         if (it->lease == done.lease) {
+          if (retransmit_on_) {
+            // A completion is an implicit (cumulative) ACK.
+            if (it->retx_event != 0) {
+              sim_.cancel(it->retx_event);
+              it->retx_event = 0;
+            }
+            // Feed the adaptive fencing watchdog: how much longer than
+            // predicted did this chunk's full round trip take?
+            const double predicted_rt = it->predicted_completion - it->dispatched_at;
+            if (predicted_rt > 0.0) {
+              ratio_[w].sample((t1 - it->dispatched_at) / predicted_rt,
+                               options_.retransmit.alpha, options_.retransmit.beta);
+            }
+          }
           records.erase(it);
           break;
         }
@@ -640,7 +1045,7 @@ class Engine final : public MasterContext {
 
     maybe_start_compute(w);
     try_dispatch();
-    if (faults_on_) maybe_finish();
+    if (recovery_on_) maybe_finish();
   }
 
   /// Output-data model: results return to the master over a shared,
@@ -668,7 +1073,7 @@ class Engine final : public MasterContext {
       downlink_busy_ = false;
       makespan_ = std::max(makespan_, t1);
       maybe_start_output();
-      if (faults_on_) maybe_finish();
+      if (recovery_on_) maybe_finish();
     });
   }
 
@@ -681,7 +1086,7 @@ class Engine final : public MasterContext {
       throw SimError("policy '" + std::string(policy_.name()) +
                      "' dispatched a non-positive chunk: " + std::to_string(d.chunk));
     }
-    if (faults_on_ && believed_down_[d.worker]) {
+    if (recovery_on_ && believed_down_[d.worker]) {
       throw SimError("policy '" + std::string(policy_.name()) + "' dispatched to worker " +
                      std::to_string(d.worker) +
                      ", which the master fenced (WorkerStatus::alive is false)");
@@ -693,12 +1098,12 @@ class Engine final : public MasterContext {
     for (std::size_t w = 0; w < platform_.size(); ++w) {
       const WorkerStatus& st = status_[w];
       msg << "\n  worker " << w << ": believed " << (believed_down_[w] ? "down" : "alive");
-      if (faults_on_) msg << ", actually " << (ground_alive_[w] ? "up" : "down");
+      if (recovery_on_) msg << ", actually " << (ground_alive_[w] ? "up" : "down");
       msg << ", outstanding=" << st.outstanding << ", queued=" << queues_[w].size()
           << ", in_flight=" << in_flight_[w] << ", computing=" << (computing_[w] ? "yes" : "no");
       if (suspicions_[w] > 0) msg << ", fenced x" << suspicions_[w];
     }
-    if (faults_on_ && !redispatch_queue_.empty()) {
+    if (recovery_on_ && !redispatch_queue_.empty()) {
       double pool = 0.0;
       for (const RedispatchItem& item : redispatch_queue_) pool += item.chunk;
       msg << "\n  re-dispatch pool: " << redispatch_queue_.size() << " chunks (" << pool
@@ -711,7 +1116,7 @@ class Engine final : public MasterContext {
   }
 
   void finalize_checks() const {
-    const bool stranded_work = faults_on_ && !redispatch_queue_.empty();
+    const bool stranded_work = recovery_on_ && !redispatch_queue_.empty();
     if (!policy_.finished() || stranded_work) {
       std::size_t believed_alive = 0;
       for (std::size_t w = 0; w < platform_.size(); ++w) {
@@ -719,7 +1124,7 @@ class Engine final : public MasterContext {
       }
       std::ostringstream msg;
       msg << "policy '" << policy_.name() << "' ";
-      if (faults_on_ && believed_alive == 0) {
+      if (recovery_on_ && believed_alive == 0) {
         msg << "stranded: all workers are dead or unreachable";
       } else {
         msg << "deadlocked: simulation drained";
@@ -749,6 +1154,13 @@ class Engine final : public MasterContext {
     RUMR_CHECK(std::abs(fstats_.work_lost - fstats_.work_redispatched) <=
                    options_.work_tolerance * scale,
                "lost work not re-dispatched exactly once");
+    // Partial-work banking conservation: every net-dispatched unit was either
+    // computed to completion or banked at an abort — at 1e-9, far tighter than
+    // the policy-facing tolerance (this is an engine-internal identity).
+    double computed = 0.0;
+    for (const WorkerOutcome& out : outcomes_) computed += out.work;
+    RUMR_CHECK(std::abs(computed + fstats_.work_banked - net_dispatched) <= 1e-9 * scale,
+               "computed + banked work does not reproduce the net dispatched workload");
     // Engine-internal drain invariants, checked after the policy-misbehavior
     // paths above (a deadlocked policy legitimately leaves a blocked send
     // behind; these tripping on a *finished* run means an engine bug).
@@ -756,6 +1168,7 @@ class Engine final : public MasterContext {
                "drained with a transfer still holding the uplink");
     for (std::size_t w = 0; w < platform_.size(); ++w) {
       RUMR_CHECK(in_flight_[w] == 0, "drained with a chunk still in flight");
+      if (retransmit_on_) RUMR_CHECK(reserved_[w] == 0, "drained with reserved buffer slots");
       RUMR_CHECK(queues_[w].empty(), "drained with a chunk still queued at a worker");
       RUMR_CHECK(!computing_[w], "drained with a worker still computing");
     }
@@ -812,14 +1225,44 @@ class Engine final : public MasterContext {
   FaultSummary fstats_;
   bool work_all_done_ = false;
 
+  // Link-fault layer and retransmit protocol (inert unless enabled).
+  bool link_on_ = false;
+  bool retransmit_on_ = false;
+  bool checkpoint_on_ = false;
+  /// faults_on_ || link_on_ || retransmit_on_: leases, watchdog, and the
+  /// re-dispatch pool are armed.
+  bool recovery_on_ = false;
+  faults::LinkTimeline link_;
+  /// Per-worker reserved receive-buffer slots (retransmit mode): one per
+  /// dispatched-but-not-yet-accepted lease, held across losses and re-sends
+  /// so a retransmission never overcommits the buffer.
+  std::vector<std::size_t> reserved_;
+  /// Stable-storage duplicate suppression: leases this worker has already
+  /// accepted. Survives crashes (else a late duplicate of an already-computed
+  /// chunk would be computed twice); cleared only at a fence, when the lease
+  /// epoch bump makes every old lease unreachable anyway.
+  std::vector<std::set<std::uint64_t>> accepted_leases_;
+  util::FlatFifo<RetxItem> retx_queue_;  ///< Payloads awaiting re-send.
+  std::vector<SmoothedEstimator> rtt_;   ///< Payload->ACK round trips, per worker.
+  std::vector<SmoothedEstimator> ratio_; ///< Completion-time inflation, per worker.
+  std::vector<ActiveCompute> active_;    ///< Running computation, per worker.
+
   // Observability (always on: zero RNG draws, O(1) per transition, so
   // instrumented runs stay byte-identical to uninstrumented ones).
   static constexpr double kChunkHistFirstEdge = 0.25;  ///< Workload units.
   static constexpr double kCompHistFirstEdge = 0.01;   ///< Simulated seconds.
   static constexpr std::size_t kHistBuckets = 16;
+  static constexpr double kTimeoutHistFirstEdge = 1e-3;  ///< Simulated seconds.
+  static constexpr std::size_t kTimeoutHistBuckets = 20;
+  /// Floor on the adaptive watchdog multiplier: even a worker with perfectly
+  /// stable history keeps this much slack, so estimator noise cannot make
+  /// fencing hair-triggered.
+  static constexpr double kAdaptiveSlackFloor = 1.5;
   obs::EngineProbe probe_;
   obs::Histogram chunk_hist_;
   obs::Histogram comp_hist_;
+  obs::Histogram timeout_hist_;  ///< Armed completion-watchdog windows.
+  obs::Histogram rto_hist_;      ///< Armed retransmission timeouts.
   std::size_t false_suspicions_ = 0;  ///< Fencings of actually-alive workers.
   std::size_t backoff_retries_ = 0;   ///< Blacklist-backoff waits armed.
 };

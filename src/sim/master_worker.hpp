@@ -81,13 +81,24 @@ struct SimOptions {
   /// byte-identical to a build without the subsystem.
   faults::FaultSpec faults{};
 
+  /// Link (channel) fault model: message loss, bandwidth-degradation windows,
+  /// latency spikes. Inert by default; when enabled the engine arms the same
+  /// lease/watchdog recovery machinery the worker-fault layer uses, and all
+  /// link randomness comes from dedicated per-worker lanes — the engine's own
+  /// RNG consumption is untouched, so runs with the link layer disabled stay
+  /// byte-identical to builds without it.
+  faults::LinkFaultSpec link{};
+
   /// Master-side failure-detection and re-admission knobs (used only when
-  /// `faults` is enabled).
+  /// `faults` or `link` is enabled).
   struct FaultToleranceOptions {
     /// The master declares a worker lost when a chunk's completion is overdue
     /// by `timeout_slack` times its predicted remaining duration. Must be
     /// > 1; larger values tolerate more prediction error before fencing but
-    /// detect real failures later.
+    /// detect real failures later. With the retransmit protocol enabled this
+    /// fixed multiplier is only the bootstrap: once a worker has completion
+    /// history, an adaptive EWMA + variance estimate of its observed
+    /// round-trip inflation replaces it (RFC6298-style).
     double timeout_slack = 4.0;
     /// Blacklist duration after the k-th fencing of a worker:
     /// min(backoff_max, backoff_base * backoff_factor^(k-1)) seconds.
@@ -95,6 +106,45 @@ struct SimOptions {
     double backoff_factor = 4.0;
     double backoff_max = 1024.0;
   } fault_tolerance{};
+
+  /// Opt-in ACK/timeout/retransmit protocol for chunk payloads. Without it,
+  /// a lost payload is recovered only by the (slow) completion-timeout fence;
+  /// with it, the master arms a per-delivery retransmission timer from an
+  /// RFC6298 estimator (SRTT/RTTVAR over observed payload->ACK round trips,
+  /// Karn's rule: no samples from retransmitted deliveries, exponential
+  /// backoff per retry) and re-sends just the undelivered payload. Duplicate
+  /// deliveries are suppressed at the worker by lease id; suppression state
+  /// survives worker crashes (stable storage) so a chunk is never computed
+  /// twice. Exhausting max_retries fences the worker.
+  struct RetransmitOptions {
+    bool enabled = false;
+    double alpha = 0.125;           ///< SRTT gain (RFC6298).
+    double beta = 0.25;             ///< RTTVAR gain (RFC6298).
+    double k = 4.0;                 ///< RTO = SRTT + k * RTTVAR.
+    double rto_min = 1e-3;          ///< Floor on the retransmission timeout, s.
+    /// Before the first RTT sample: RTO = rto_initial_factor * predicted
+    /// round trip of this delivery.
+    double rto_initial_factor = 3.0;
+    std::size_t max_retries = 8;    ///< Send attempts per delivery before fencing.
+  } retransmit{};
+
+  /// Event budget for the run; 0 uses the DES kernel's own runaway guard
+  /// (des::Simulator::kDefaultMaxEvents). When the budget is exhausted with
+  /// events still pending the engine raises SimError instead of spinning —
+  /// chaos campaigns set a small budget so a livelocked fault scenario (e.g.
+  /// crashes arriving faster than any chunk can complete) becomes a named,
+  /// reproducible failure rather than a hung process.
+  std::size_t max_events = 0;
+
+  /// Partial-work checkpointing: every `interval` simulated seconds of
+  /// computation a worker banks the fraction of its current chunk completed
+  /// so far. When the computation is later aborted (crash or fence) only the
+  /// unbanked remainder is reclaimed and re-dispatched; the banked work is
+  /// final. 0 disables banking (a reclaimed chunk is re-sent from byte
+  /// zero, the pre-checkpoint behavior).
+  struct CheckpointOptions {
+    double interval = 0.0;
+  } checkpoint{};
 
   /// Convenience: same error level on both resources with the paper's
   /// truncated-normal model.
@@ -133,6 +183,19 @@ struct FaultSummary {
   double work_lost = 0.0;       ///< Workload units in those chunks.
   std::size_t chunks_redispatched = 0;  ///< Reclaimed chunks sent again.
   double work_redispatched = 0.0;       ///< Workload units sent again.
+
+  // Link-fault / retransmit-protocol counters (zero when the link layer and
+  // the retransmit protocol are disabled).
+  std::size_t messages_lost = 0;   ///< Payloads and ACKs dropped in the network.
+  std::size_t latency_spikes = 0;  ///< Messages delayed by a latency spike.
+  std::size_t degraded_sends = 0;  ///< Payload sends inside a degradation window.
+  std::size_t retransmits = 0;     ///< Chunk payloads re-sent by the protocol.
+  double work_retransmitted = 0.0; ///< Workload units in those re-sends.
+  std::size_t duplicates_suppressed = 0;  ///< Duplicate deliveries dropped by lease id.
+
+  // Partial-work checkpointing counters (zero when checkpoint.interval == 0).
+  std::size_t checkpoints_banked = 0;  ///< Aborted computations that banked progress.
+  double work_banked = 0.0;            ///< Workload units banked (never recomputed).
 };
 
 /// Result of a simulated run.

@@ -30,6 +30,9 @@ std::vector<AlgorithmSpec> golden_lineup() {
 }
 
 /// Full scenario definition: platform + workload + error + seed + faults.
+/// `tune` (optional) adjusts the remaining SimOptions — link-fault spec,
+/// retransmit protocol, checkpoint interval — after the common fields are
+/// set; nullptr leaves the defaults.
 struct ScenarioDef {
   const char* name;
   double w_total;
@@ -37,6 +40,7 @@ struct ScenarioDef {
   std::uint64_t seed;
   platform::StarPlatform (*make_platform)();
   faults::FaultSpec (*make_faults)();
+  void (*tune)(sim::SimOptions&);
 };
 
 platform::StarPlatform homogeneous_10() {
@@ -66,18 +70,40 @@ faults::FaultSpec scripted_outages() {
   });
 }
 
+/// Lossy, spiky, periodically degraded link with the adaptive retransmit
+/// protocol and partial-work checkpointing engaged — pins the full
+/// communication-fault stack: per-worker link RNG lanes, RFC6298 timer
+/// arming order, duplicate suppression, and banked-work accounting. Any
+/// reordering of those draws or events drifts this fixture.
+void faulty_link_options(sim::SimOptions& options) {
+  faults::LinkFaultSpec link;
+  link.loss = 0.08;
+  link.spike_probability = 0.05;
+  link.spike_mean = 0.5;
+  link.degraded_mtbf = 30.0;
+  link.degraded_mttr = 6.0;
+  link.degraded_factor = 4.0;
+  options.link = link;
+  options.retransmit.enabled = true;
+  options.checkpoint.interval = 0.5;
+}
+
 /// The multi-job open-system scenario (see record_jobs_scenario). Reuses the
 /// single-run fixture schema with a documented field mapping, one case per
 /// sharing policy.
 constexpr const char* kJobsScenario = "jobs-poisson";
 
 constexpr ScenarioDef kScenarios[] = {
-    {"homogeneous-10", 1000.0, 0.3, 42, &homogeneous_10, &no_faults},
-    {"heterogeneous-4", 400.0, 0.2, 7, &heterogeneous_4, &no_faults},
-    {"faults-scripted", 1000.0, 0.2, 11, &homogeneous_10, &scripted_outages},
+    {"homogeneous-10", 1000.0, 0.3, 42, &homogeneous_10, &no_faults, nullptr},
+    {"heterogeneous-4", 400.0, 0.2, 7, &heterogeneous_4, &no_faults, nullptr},
+    {"faults-scripted", 1000.0, 0.2, 11, &homogeneous_10, &scripted_outages, nullptr},
+    // Scripted worker outages *and* a faulty link: fencing and re-dispatch
+    // race retransmissions and banked partial work.
+    {"faulty-link", 600.0, 0.2, 13, &homogeneous_10, &scripted_outages,
+     &faulty_link_options},
     // jobs-poisson is handled by record_jobs_scenario; w_total stands in for
     // the per-job mean size.
-    {kJobsScenario, 300.0, 0.2, 17, &homogeneous_10, &no_faults},
+    {kJobsScenario, 300.0, 0.2, 17, &homogeneous_10, &no_faults, nullptr},
 };
 
 const ScenarioDef& find_scenario(const std::string& name) {
@@ -180,6 +206,7 @@ GoldenScenario record_scenario(const std::string& name) {
     auto policy = spec.make(platform, def.w_total, def.error);
     sim::SimOptions options = sim::SimOptions::with_error(def.error, def.seed);
     options.faults = def.make_faults();
+    if (def.tune != nullptr) def.tune(options);
     const sim::SimResult result = sim::simulate(platform, *policy, options);
 
     // A fingerprint of a run that violates its own invariants is worthless.

@@ -55,6 +55,9 @@ class FlatFifo {
   [[nodiscard]] T& front() { return items_[head_]; }
   [[nodiscard]] const T& front() const { return items_[head_]; }
 
+  [[nodiscard]] T& back() { return items_.back(); }
+  [[nodiscard]] const T& back() const { return items_.back(); }
+
   /// Removes the front element. O(1); storage is reclaimed (capacity kept)
   /// once the queue drains empty.
   void pop_front() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/rumr.hpp"
+#include "check/service_audit.hpp"
 
 namespace rumr {
 namespace {
@@ -39,6 +40,29 @@ TEST(RunBuilder, SettersRoundTripIntoDescription) {
   EXPECT_DOUBLE_EQ(desc.known_error, 0.25);
   EXPECT_EQ(desc.sim_options.seed, 123u);
   EXPECT_EQ(desc.repetitions, 7u);
+}
+
+TEST(RunBuilder, FaultAndLinkSettersRoundTripAndExecuteAudited) {
+  rumr::Run run = rumr::Run()
+                      .platform(small_platform())
+                      .workload(200.0)
+                      .algorithm("factoring")
+                      .link_faults(faults::LinkFaultSpec::lossy(0.05))
+                      .retransmit()
+                      .checkpoint_interval(0.5)
+                      .seed(7);
+  const sim::SimOptions& o = run.description().sim_options;
+  EXPECT_DOUBLE_EQ(o.link.loss, 0.05);
+  EXPECT_TRUE(o.retransmit.enabled);
+  EXPECT_DOUBLE_EQ(o.checkpoint.interval, 0.5);
+
+  // A faulty run executes through the facade and passes its self-audit
+  // (execute() raises check::CheckError on any violation).
+  const RunResult result = run.execute();
+  EXPECT_GT(result.makespan, 0.0);
+  double computed = 0.0;
+  for (const auto& w : result.sim.workers) computed += w.work;
+  EXPECT_NEAR(computed + result.sim.faults.work_banked, 200.0, 1e-6);
 }
 
 TEST(RunBuilder, DefaultConstructedRunExecutes) {
@@ -153,6 +177,37 @@ TEST(JobsRunFacade, BuildsExecutesAndSelfAudits) {
   EXPECT_GE(result.mean_slowdown(), 1.0);
   // Run::jobs() carried the per-job scheduler settings over.
   EXPECT_NEAR(result.offered_load, 0.6, 0.4);  // Realized load tracks the target.
+}
+
+TEST(JobsRunFacade, FaultStackFlowsThroughRunJobsAndPassesServiceAudit) {
+  // The whole fault stack configured on a Run — worker crashes, link loss,
+  // retransmit protocol, partial-work checkpointing — must survive the
+  // Run::jobs() handoff into the open-system engine, and a faulty multi-job
+  // run must still satisfy every service identity.
+  rumr::Run base = rumr::Run()
+                       .platform(small_platform())
+                       .algorithm("rumr")
+                       .known_error(0.2)
+                       .error(0.2)
+                       .faults(faults::FaultSpec::transient(200.0, 20.0))
+                       .link_faults(faults::LinkFaultSpec::lossy(0.05))
+                       .retransmit()
+                       .checkpoint_interval(0.5)
+                       .seed(21);
+  rumr::JobsRun jobs_run = base.jobs();
+  EXPECT_DOUBLE_EQ(jobs_run.options().sim.link.loss, 0.05);
+  EXPECT_DOUBLE_EQ(jobs_run.options().sim.faults.mtbf, 200.0);
+  EXPECT_TRUE(jobs_run.options().sim.retransmit.enabled);
+  EXPECT_DOUBLE_EQ(jobs_run.options().sim.checkpoint.interval, 0.5);
+
+  const jobs::ServiceResult result = jobs_run.poisson_load(0.5, 10, 100.0)
+                                         .sharing(jobs::SharingPolicy::kFractional)
+                                         .execute();
+  EXPECT_EQ(result.arrived, 10u);
+  EXPECT_EQ(result.completed, 10u);
+  const check::AuditReport report =
+      check::audit_service_result(result, small_platform(), jobs_run.options());
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 TEST(JobsRunFacade, InvalidOptionsThrowAtExecute) {

@@ -137,6 +137,49 @@ TEST(RunDescription, ParsesScheduleAndSimulation) {
   EXPECT_EQ(run.repetitions, 3u);
 }
 
+TEST(RunDescription, ParsesLinkFaultRetransmitAndCheckpointSections) {
+  const std::string text = std::string(kSample) + R"(
+[faults.link]
+loss = 0.05
+spike_probability = 0.2
+spike_mean = 1.5
+degraded_mtbf = 30
+degraded_mttr = 5
+degraded_factor = 4
+
+[retransmit]
+enabled = true
+k = 6
+rto_min = 0.01
+max_retries = 12
+
+[checkpoint]
+interval = 0.5
+)";
+  const RunDescription run = run_from_config(ConfigFile::parse(text));
+  const sim::SimOptions& o = run.sim_options;
+  EXPECT_DOUBLE_EQ(o.link.loss, 0.05);
+  EXPECT_DOUBLE_EQ(o.link.spike_probability, 0.2);
+  EXPECT_DOUBLE_EQ(o.link.spike_mean, 1.5);
+  EXPECT_DOUBLE_EQ(o.link.degraded_mtbf, 30.0);
+  EXPECT_DOUBLE_EQ(o.link.degraded_mttr, 5.0);
+  EXPECT_DOUBLE_EQ(o.link.degraded_factor, 4.0);
+  EXPECT_TRUE(o.link.enabled());
+  EXPECT_TRUE(o.retransmit.enabled);
+  EXPECT_DOUBLE_EQ(o.retransmit.alpha, 0.125);  // Untouched default.
+  EXPECT_DOUBLE_EQ(o.retransmit.k, 6.0);
+  EXPECT_DOUBLE_EQ(o.retransmit.rto_min, 0.01);
+  EXPECT_EQ(o.retransmit.max_retries, 12u);
+  EXPECT_DOUBLE_EQ(o.checkpoint.interval, 0.5);
+}
+
+TEST(RunDescription, LinkSectionsDefaultToInert) {
+  const RunDescription run = run_from_config(ConfigFile::parse(kSample));
+  EXPECT_FALSE(run.sim_options.link.enabled());
+  EXPECT_FALSE(run.sim_options.retransmit.enabled);
+  EXPECT_DOUBLE_EQ(run.sim_options.checkpoint.interval, 0.0);
+}
+
 TEST(RunDescription, RejectsMissingPieces) {
   EXPECT_THROW((void)run_from_config(ConfigFile::parse("[workload]\ntotal = 5\n")), ConfigError);
   EXPECT_THROW(

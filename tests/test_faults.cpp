@@ -3,6 +3,7 @@
 /// graceful degradation, exactly-once re-dispatch, fencing, backoff/rejoin,
 /// and determinism of faulty runs.
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -78,19 +79,57 @@ TEST(FaultTimeline, RejectsInvalidSpecs) {
                std::invalid_argument);
   EXPECT_THROW(faults::FaultTimeline(faults::FaultSpec::fail_stop(100.0, 1.5), 2, 1),
                std::invalid_argument);
-  EXPECT_THROW(faults::FaultTimeline(faults::FaultSpec::transient(100.0, 0.0), 2, 1),
+  EXPECT_THROW(faults::FaultTimeline(faults::FaultSpec::transient(100.0, -1.0), 2, 1),
                std::invalid_argument);
   // Worker index out of range.
   EXPECT_THROW(
       faults::FaultTimeline(faults::FaultSpec::scripted({{5, {1.0, 2.0}}}), 2, 1),
       std::invalid_argument);
-  // Overlapping outages for one worker.
-  EXPECT_THROW(faults::FaultTimeline(
-                   faults::FaultSpec::scripted({{0, {1.0, 5.0}}, {0, {4.0, 6.0}}}), 2, 1),
-               std::invalid_argument);
   // up <= down.
   EXPECT_THROW(faults::FaultTimeline(faults::FaultSpec::scripted({{0, {3.0, 3.0}}}), 2, 1),
                std::invalid_argument);
+}
+
+TEST(FaultTimeline, TransientMttrZeroMeansInstantRepair) {
+  // mttr = 0 is legal: outages are zero-length point events. The worker is
+  // never observed down (intervals are half-open and empty), but the outage
+  // record still exists, so an in-progress computation straddling it aborts.
+  faults::FaultTimeline timeline(faults::FaultSpec::transient(10.0, 0.0), 2, 11);
+  const auto outage = timeline.next_outage(0, 0.0);
+  ASSERT_TRUE(outage.has_value());
+  EXPECT_DOUBLE_EQ(outage->down, outage->up);
+  EXPECT_TRUE(timeline.alive_at(0, outage->down));  // [t, t) contains nothing.
+}
+
+TEST(FaultTimeline, ScriptedOverlappingOutagesCoalesce) {
+  // Overlapping and touching intervals merge into one: a down worker going
+  // down again is still just down, and downtime must not be double-counted.
+  auto spec = faults::FaultSpec::scripted({
+      {0, {1.0, 5.0}},
+      {0, {4.0, 6.0}},   // Overlaps the first.
+      {0, {6.0, 8.0}},   // Touches the merged interval.
+      {0, {10.0, 11.0}}, // Disjoint; survives as its own outage.
+  });
+  faults::FaultTimeline timeline(spec, 1, 3);
+
+  const auto first = timeline.next_outage(0, 0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->down, 1.0);
+  EXPECT_DOUBLE_EQ(first->up, 8.0);
+
+  const auto second = timeline.next_outage(0, 8.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->down, 10.0);
+  EXPECT_DOUBLE_EQ(second->up, 11.0);
+  EXPECT_FALSE(timeline.next_outage(0, 11.0).has_value());
+
+  // A permanent outage absorbs everything that starts inside or after it.
+  auto perm = faults::FaultSpec::scripted({{0, {2.0, kInf}}, {0, {3.0, 4.0}}});
+  faults::FaultTimeline permanent(perm, 1, 3);
+  const auto only = permanent.next_outage(0, 0.0);
+  ASSERT_TRUE(only.has_value());
+  EXPECT_DOUBLE_EQ(only->down, 2.0);
+  EXPECT_TRUE(only->permanent());
 }
 
 TEST(FaultTimeline, FailStopIsPermanentAndDeterministic) {
@@ -194,6 +233,47 @@ TEST(FaultSim, ScriptedFailStopCompletesOnSurvivors) {
   EXPECT_NEAR(survivor_work + result.workers[0].work, 100.0, 1e-6);
 
   const check::AuditReport audit = check::audit_sim_result(result, platform, 100.0);
+  EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST(FaultSim, OverlappingScriptedOutagesDoNotDoubleCountDowntime) {
+  const auto platform = uniform_platform(3);
+  baselines::FactoringPolicy policy(90.0, 3);
+  // Three overlapping scripts for one worker; coalesced to [1, 6). The
+  // metrics audit partitions each worker's time over [0, makespan], so any
+  // double-counted down_time trips the identity check.
+  const auto options = fault_options(faults::FaultSpec::scripted(
+      {{0, {1.0, 5.0}}, {0, {2.0, 4.0}}, {0, {4.5, 6.0}}}));
+
+  const sim::SimResult result = simulate(platform, policy, options);
+
+  EXPECT_EQ(result.faults.failures, 1u);
+  EXPECT_EQ(result.faults.recoveries, 1u);
+  EXPECT_NEAR(result.metrics.engine.workers[0].down_time, 5.0, 1e-9);
+
+  const check::AuditReport audit = check::audit_sim_result(result, platform, 90.0);
+  EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST(FaultSim, TransientInstantRepairCompletesAndAudits) {
+  const auto platform = uniform_platform(3);
+  baselines::FactoringPolicy policy(90.0, 3);
+  // mttr = 0: every outage is a zero-length point event. Workers are never
+  // observed down, so the run must complete with zero recorded downtime and
+  // a clean audit whatever the failure rate.
+  const auto options = fault_options(faults::FaultSpec::transient(5.0, 0.0), 17);
+
+  const sim::SimResult result = simulate(platform, policy, options);
+
+  EXPECT_EQ(result.faults.failures, result.faults.recoveries);
+  for (const obs::WorkerSpans& spans : result.metrics.engine.workers) {
+    EXPECT_DOUBLE_EQ(spans.down_time, 0.0);
+  }
+  double total = 0.0;
+  for (const auto& w : result.workers) total += w.work;
+  EXPECT_NEAR(total, 90.0, 1e-6);
+
+  const check::AuditReport audit = check::audit_sim_result(result, platform, 90.0);
   EXPECT_TRUE(audit.ok()) << audit.summary();
 }
 
@@ -325,6 +405,66 @@ TEST(FaultSim, FlapperIsFencedRepeatedly) {
   EXPECT_GE(result.faults.suspicions, 2u);
   EXPECT_GE(result.faults.rejoins, 2u);
   const check::AuditReport audit = check::audit_sim_result(result, platform, 300.0);
+  EXPECT_TRUE(audit.ok()) << audit.summary();
+}
+
+TEST(FaultSim, BackoffExhaustedFlapperRejoinsMidPhase2WithFloorSizedChunk) {
+  // A worker fenced repeatedly enough to drive its blacklist backoff to
+  // backoff_max must, on its final rejoin during RUMR's phase 2, be fed a
+  // real factoring chunk (>= the phase-2 chunk floor), not dust — flapping
+  // history must not degrade what the policy offers a re-admitted worker.
+  const auto platform = platform::StarPlatform::homogeneous({.workers = 4,
+                                                             .speed = 1.0,
+                                                             .bandwidth = 6.0,
+                                                             .comp_latency = 0.2,
+                                                             .comm_latency = 0.1});
+  // known_error 0.9 puts 360 of 400 units in phase 2; factoring_factor 8
+  // makes every phase-2 batch floor-sized, so the floor is the binding chunk
+  // size throughout: clamp(overhead/error, W2/(8N), W/N) = W2/(8N) = 11.25.
+  core::RumrOptions rumr_options;
+  rumr_options.known_error = 0.9;
+  rumr_options.factoring_factor = 8.0;
+  const double phase2 = core::rumr_phase2_work(platform, 400.0, rumr_options);
+  const double floor_chunk = phase2 / (8.0 * 4.0);
+  core::RumrPolicy policy(platform, 400.0, std::move(rumr_options));
+
+  // Three separated outages of worker 0, all during phase 2 (phase 1's 40
+  // units drain in ~13 s). Each aborts a computation, the watchdog fences,
+  // and the worker rejoins after backoff: by the third fence the schedule
+  // min(backoff_max, base * factor^(k-1)) = min(0.2, 0.05 * 16) has been
+  // capped at backoff_max.
+  auto options = fault_options(faults::FaultSpec::scripted(
+      {{0, {15.0, 16.0}}, {0, {35.0, 36.0}}, {0, {55.0, 57.0}}}));
+  options.fault_tolerance.timeout_slack = 1.25;
+  options.fault_tolerance.backoff_base = 0.05;
+  options.fault_tolerance.backoff_factor = 4.0;
+  options.fault_tolerance.backoff_max = 0.2;
+
+  const sim::SimResult result = simulate(platform, policy, options);
+
+  EXPECT_EQ(result.faults.failures, 3u);
+  EXPECT_GE(result.faults.suspicions, 3u);
+  EXPECT_GE(result.faults.rejoins, 3u);
+
+  // After its last recovery the worker computes again, and the first chunk
+  // it is handed respects the phase-2 floor.
+  des::SimTime last_down_end = 0.0;
+  for (const sim::TraceSpan& span : result.trace.for_worker(0)) {
+    if (span.kind == sim::SpanKind::kDown) last_down_end = std::max(last_down_end, span.end);
+  }
+  EXPECT_DOUBLE_EQ(last_down_end, 57.0);
+  const auto computes = result.trace.filter(sim::SpanKind::kCompute);
+  const sim::TraceSpan* first_after_rejoin = nullptr;
+  for (const sim::TraceSpan& span : computes) {
+    if (span.worker != 0 || span.start < last_down_end) continue;
+    if (first_after_rejoin == nullptr || span.start < first_after_rejoin->start) {
+      first_after_rejoin = &span;
+    }
+  }
+  ASSERT_NE(first_after_rejoin, nullptr);
+  EXPECT_GE(first_after_rejoin->chunk, floor_chunk - 1e-9);
+
+  const check::AuditReport audit = check::audit_sim_result(result, platform, 400.0);
   EXPECT_TRUE(audit.ok()) << audit.summary();
 }
 
