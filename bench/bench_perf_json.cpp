@@ -10,7 +10,8 @@
 //     "des_fanout_events_per_sec": ...,   // wide pre-scheduled fan-out
 //     "engine_runs_per_sec":       ...,   // UMR runs under 30% error
 //     "engine_events_per_sec":     ...,   // DES events inside those runs
-//     "jobs_per_sec":              ...    // open-system jobs served end to end
+//     "jobs_per_sec":              ...,   // open-system jobs served end to end
+//     "sweep_cells_per_sec":       ...    // sharded sweep grid cells completed
 //   }
 //
 // CI archives the file per commit; regression tooling diffs it. Numbers are
@@ -20,10 +21,12 @@
 // Usage: bench_perf_json [output-path]   (default results/BENCH_des.json)
 
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <vector>
 
 #include "api/rumr.hpp"
 
@@ -124,6 +127,30 @@ double jobs_per_sec() {
   return static_cast<double>(completed) / seconds_since(start);
 }
 
+/// Sharded sweep throughput: completed grid cells per second through
+/// run_sweep_streaming on a small closed-system grid (every hardware
+/// thread), the unit of capacity behind "10^6-cell sweeps overnight".
+double sweep_cells_per_sec() {
+  constexpr int kRounds = 3;
+  const std::vector<sweep::SweepPlatform> platforms = {
+      sweep::SweepPlatform::from_config({10, 1.5, 0.1, 0.05}),
+      sweep::SweepPlatform::from_config({4, 2.0, 0.3, 0.1})};
+  const std::vector<sweep::AlgorithmSpec> lineup = {
+      sweep::rumr_spec(), sweep::umr_spec(), sweep::factoring_spec()};
+  sweep::SweepOptions options;
+  options.errors = {0.0, 0.2, 0.4};
+  options.repetitions = 8;
+  options.rep_block = 2;
+  options.w_total = 300.0;
+  std::size_t cells = 0;
+  const auto start = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    sweep::run_sweep_streaming(platforms, lineup, options,
+                               [&cells](const sweep::SweepCell&) { ++cells; });
+  }
+  return static_cast<double>(cells) / seconds_since(start);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -133,6 +160,7 @@ int main(int argc, char** argv) {
   const double fanout = des_fanout_events_per_sec();
   const EngineRates engine = engine_rates();
   const double jobs_rate = jobs_per_sec();
+  const double sweep_rate = sweep_cells_per_sec();
 
   std::error_code ec;
   std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
@@ -146,7 +174,8 @@ int main(int argc, char** argv) {
       << "  \"des_fanout_events_per_sec\": " << fanout << ",\n"
       << "  \"engine_runs_per_sec\": " << engine.runs_per_sec << ",\n"
       << "  \"engine_events_per_sec\": " << engine.events_per_sec << ",\n"
-      << "  \"jobs_per_sec\": " << jobs_rate << "\n"
+      << "  \"jobs_per_sec\": " << jobs_rate << ",\n"
+      << "  \"sweep_cells_per_sec\": " << sweep_rate << "\n"
       << "}\n";
   out.close();
 
@@ -155,6 +184,7 @@ int main(int argc, char** argv) {
   std::printf("engine    : %.3g runs/s, %.3g events/s\n", engine.runs_per_sec,
               engine.events_per_sec);
   std::printf("jobs      : %.3g jobs/s\n", jobs_rate);
+  std::printf("sweep     : %.3g cells/s\n", sweep_rate);
   std::printf("written to %s\n", path);
   return 0;
 }

@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            all stages
 #   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | lint |
-#                      metrics | jobs | chaos | perf
+#                      metrics | jobs | sweep | chaos | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
@@ -27,6 +27,11 @@
 #   jobs        multi-job open-system demo (tools/jobs_demo) under the release
 #               and asan-ubsan presets; every run must pass
 #               check::audit_service_result and drain its admitted jobs
+#   sweep       sharded streaming sweep demo (tools/sweep_demo) under the
+#               release and asan-ubsan presets: byte-identity across thread
+#               counts, rep_block merge-tree tolerance, exactly-once
+#               streaming, and open-system thread invariance; the demo exits
+#               nonzero on any violation
 #   chaos       seeded fault-injection campaign (tools/chaos_campaign) under
 #               the release and asan-ubsan presets: the small grid sweeps
 #               message loss x bandwidth degradation x worker MTBF x workload
@@ -47,7 +52,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs chaos perf}")
+STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs sweep chaos perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -56,9 +61,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|chaos|perf) ;;
+    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|chaos|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | chaos | perf)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | sweep | chaos | perf)" >&2
       exit 2
       ;;
   esac
@@ -140,6 +145,19 @@ for stage in "${STAGES[@]}"; do
         "./build/$preset/tools/jobs_demo"
       done
       ;;
+    sweep)
+      # The demo exits nonzero when the sharded engine breaks its
+      # determinism contract (thread-count or shard-shape dependence,
+      # dropped/duplicated streamed cells), so this gates the sweep engine
+      # end to end through the rumr::Sweep facade.
+      for preset in release asan-ubsan; do
+        banner "configure+build sweep_demo [$preset]"
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target sweep_demo
+        banner "sweep demo [$preset]"
+        "./build/$preset/tools/sweep_demo"
+      done
+      ;;
     chaos)
       # Every cell of the campaign self-audits (work conservation, banked-work
       # accounting, span sanity) and must converge within its event budget;
@@ -165,7 +183,7 @@ for stage in "${STAGES[@]}"; do
         --threshold 0.20 --history results/BENCH_history.jsonl
       ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|chaos|perf)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|chaos|perf)" >&2
       exit 2
       ;;
   esac

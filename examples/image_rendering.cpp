@@ -6,8 +6,10 @@
 // prediction error the paper describes for ray tracing.
 //
 // This example treats the image as a divisible workload (one unit = one
-// 64x64 pixel block), sweeps the prediction-error level, and races the full
-// competitor line-up from the paper's section 5.1.
+// 64x64 pixel block), sweeps the prediction-error level with the rumr::Sweep
+// builder, and races the full competitor line-up from the paper's section
+// 5.1. The sweep is sharded across all cores and every repetition is
+// self-audited.
 
 #include <cstdio>
 #include <vector>
@@ -36,29 +38,33 @@ int main() {
 
   const std::vector<double> error_levels = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5};
   const std::vector<sweep::AlgorithmSpec> algorithms = sweep::paper_competitors();
-  const int reps = 25;
+  const std::size_t reps = 25;
+
+  const std::vector<sweep::SweepCell> cells = Sweep()
+                                                  .platform(cluster, "render-farm-16")
+                                                  .errors(error_levels)
+                                                  .policies(algorithms)
+                                                  .workload(blocks)
+                                                  .reps(reps)
+                                                  .seed(0xf00d)
+                                                  .threads(0)
+                                                  .execute();
+
+  // cells arrive sorted by (platform, error, algorithm); with one platform,
+  // cell index = error * |algorithms| + algorithm.
+  const auto mean_at = [&](std::size_t algo, std::size_t err) {
+    return cells[err * algorithms.size() + algo].stats.makespan.mean();
+  };
 
   std::vector<std::string> headers = {"algorithm"};
   for (double e : error_levels) headers.push_back("err=" + report::format_double(e, 1));
   report::TextTable table(std::move(headers));
-
-  std::vector<std::vector<double>> means(algorithms.size(),
-                                         std::vector<double>(error_levels.size(), 0.0));
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    for (std::size_t e = 0; e < error_levels.size(); ++e) {
-      stats::Accumulator acc;
-      for (int rep = 0; rep < reps; ++rep) {
-        const auto policy = algorithms[a].make(cluster, blocks, error_levels[e]);
-        const auto seed = stats::mix_seed(0xf00d, e, static_cast<std::uint64_t>(rep));
-        sim::SimOptions options = sim::SimOptions::with_error(error_levels[e], seed);
-        acc.add(simulate(cluster, *policy, options).makespan);
-      }
-      means[a][e] = acc.mean();
-    }
-    table.add_row(algorithms[a].name, means[a], 1);
+    std::vector<double> row(error_levels.size());
+    for (std::size_t e = 0; e < error_levels.size(); ++e) row[e] = mean_at(a, e);
+    table.add_row(algorithms[a].name, row, 1);
   }
-
-  std::printf("mean frame render time (s) over %d repetitions:\n\n%s\n", reps,
+  std::printf("mean frame render time (s) over %zu repetitions:\n\n%s\n", reps,
               table.to_string().c_str());
 
   // Normalized view (the paper's preferred presentation).
@@ -67,10 +73,19 @@ int main() {
   report::TextTable normalized(std::move(norm_headers));
   for (std::size_t a = 1; a < algorithms.size(); ++a) {
     std::vector<double> row(error_levels.size());
-    for (std::size_t e = 0; e < error_levels.size(); ++e) row[e] = means[a][e] / means[0][e];
+    for (std::size_t e = 0; e < error_levels.size(); ++e) {
+      row[e] = mean_at(a, e) / mean_at(0, e);
+    }
     normalized.add_row(algorithms[a].name, row, 3);
   }
   std::printf("makespan normalized to RUMR (>1 means RUMR is faster):\n\n%s",
               normalized.to_string().c_str());
+
+  // The sketch gives distribution tails without storing the repetitions.
+  const sweep::CellStats& rumr_worst =
+      cells[(error_levels.size() - 1) * algorithms.size()].stats;
+  std::printf("\nRUMR at err=%.1f: median %.1f s, p95 %.1f s over %zu reps\n",
+              error_levels.back(), rumr_worst.makespan_quantiles.quantile(0.5),
+              rumr_worst.makespan_quantiles.quantile(0.95), rumr_worst.reps);
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "api/rumr.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <tuple>
 #include <utility>
 
 namespace rumr {
@@ -249,6 +252,273 @@ jobs::ServiceResult JobsRun::execute() const {
     check::audit_service_result(result, platform_, options).throw_if_failed();
   }
   return result;
+}
+
+// --- Sweep builder -----------------------------------------------------------
+
+Sweep::Sweep()
+    : policies_(sweep::paper_competitors()),
+      errors_(sweep::error_axis()),
+      loads_(sweep::load_axis()) {}
+
+Sweep& Sweep::grid(const sweep::GridSpec& spec) { return platforms(sweep::make_grid(spec)); }
+
+Sweep& Sweep::platforms(std::vector<sweep::PlatformConfig> configs) {
+  platforms_ = sweep::wrap_grid(configs);
+  return *this;
+}
+
+Sweep& Sweep::platforms(std::vector<sweep::SweepPlatform> list) {
+  platforms_ = std::move(list);
+  return *this;
+}
+
+Sweep& Sweep::platform(platform::StarPlatform p, std::string label) {
+  platforms_.push_back({std::move(label), std::move(p)});
+  return *this;
+}
+
+Sweep& Sweep::errors(std::vector<double> axis) {
+  errors_ = std::move(axis);
+  return *this;
+}
+
+Sweep& Sweep::policies(std::vector<sweep::AlgorithmSpec> specs) {
+  policies_ = std::move(specs);
+  policy_problems_.clear();
+  return *this;
+}
+
+Sweep& Sweep::policies(const std::vector<std::string>& names) {
+  policies_.clear();
+  policy_problems_.clear();
+  policies_.reserve(names.size());
+  // Probe each name once on a throwaway platform so validate() can report
+  // unknown names up front instead of aborting mid-sweep.
+  const platform::StarPlatform probe =
+      platform::StarPlatform::homogeneous(platform::HomogeneousParams{});
+  for (const std::string& name : names) {
+    try {
+      (void)config::make_policy(name, probe, 100.0, 0.0);
+    } catch (const config::ConfigError& error) {
+      policy_problems_.emplace_back("policy \"" + name + "\": " + error.what());
+    }
+    sweep::AlgorithmSpec spec;
+    spec.name = name;
+    spec.make = [name](const platform::StarPlatform& p, double w_total, double error) {
+      return config::make_policy(name, p, w_total, error);
+    };
+    policies_.push_back(std::move(spec));
+  }
+  return *this;
+}
+
+Sweep& Sweep::workload(double units) {
+  workload_ = units;
+  return *this;
+}
+
+Sweep& Sweep::distribution(stats::ErrorDistribution d) {
+  distribution_ = d;
+  return *this;
+}
+
+Sweep& Sweep::faults(faults::FaultSpec spec) {
+  faults_ = std::move(spec);
+  return *this;
+}
+
+Sweep& Sweep::fault_tolerance(sim::SimOptions::FaultToleranceOptions tolerance) {
+  fault_tolerance_ = tolerance;
+  return *this;
+}
+
+Sweep& Sweep::jobs(jobs::JobsOptions base) {
+  jobs_base_ = std::move(base);
+  jobs_mode_ = true;
+  return *this;
+}
+
+Sweep& Sweep::loads(std::vector<double> axis) {
+  loads_ = std::move(axis);
+  jobs_mode_ = true;
+  return *this;
+}
+
+Sweep& Sweep::reps(std::size_t n) {
+  reps_ = n;
+  return *this;
+}
+
+Sweep& Sweep::threads(std::size_t n) {
+  threads_ = n;
+  return *this;
+}
+
+Sweep& Sweep::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+Sweep& Sweep::rep_block(std::size_t n) {
+  rep_block_ = n;
+  return *this;
+}
+
+Sweep& Sweep::audit(bool on) {
+  audit_ = on;
+  return *this;
+}
+
+Sweep& Sweep::on_cell(sweep::CellConsumer consumer) {
+  cell_consumer_ = std::move(consumer);
+  return *this;
+}
+
+Sweep& Sweep::on_cell(sweep::JobsCellConsumer consumer) {
+  jobs_consumer_ = std::move(consumer);
+  return *this;
+}
+
+Sweep& Sweep::buffer(bool on) {
+  buffer_ = on;
+  return *this;
+}
+
+sweep::SweepOptions Sweep::closed_options() const {
+  sweep::SweepOptions options;
+  options.errors = errors_;
+  options.repetitions = reps_ == 0 ? 40 : reps_;
+  options.w_total = workload_;
+  options.threads = threads_;
+  options.base_seed = seed_;
+  options.distribution = distribution_;
+  options.faults = faults_;
+  options.fault_tolerance = fault_tolerance_;
+  options.audit_runs = audit_;
+  options.rep_block = rep_block_;
+  return options;
+}
+
+sweep::JobsSweepOptions Sweep::open_options() const {
+  sweep::JobsSweepOptions options;
+  options.loads = loads_;
+  options.repetitions = reps_ == 0 ? 3 : reps_;
+  options.threads = threads_;
+  options.base_seed = seed_;
+  options.base = jobs_base_;
+  options.audit_runs = audit_;
+  options.rep_block = rep_block_;
+  return options;
+}
+
+std::vector<std::string> Sweep::validate() const {
+  std::vector<std::string> problems;
+  if (platforms_.empty()) {
+    problems.emplace_back(
+        "platform axis is empty — call grid(), platforms(), or platform() first");
+  }
+
+  std::size_t reps = 0;
+  std::size_t axis = 0;
+  if (jobs_mode_) {
+    const sweep::JobsSweepOptions options = open_options();
+    for (std::string& p : options.validate()) problems.push_back(std::move(p));
+    if (cell_consumer_) {
+      problems.emplace_back(
+          "a closed-system on_cell consumer is set but the sweep is open-system — "
+          "use the sweep::JobsCellConsumer overload");
+    }
+    if (!buffer_ && !jobs_consumer_) {
+      problems.emplace_back(
+          "buffering is disabled and no on_cell consumer is set — every cell would "
+          "be discarded");
+    }
+    reps = options.repetitions;
+    axis = options.loads.size();
+  } else {
+    const sweep::SweepOptions options = closed_options();
+    for (std::string& p : options.validate()) problems.push_back(std::move(p));
+    if (policies_.empty()) problems.emplace_back("policy line-up is empty");
+    for (const std::string& p : policy_problems_) problems.push_back(p);
+    if (jobs_consumer_) {
+      problems.emplace_back(
+          "an open-system on_cell consumer is set but the sweep is closed-system — "
+          "call jobs() or loads() to switch modes, or use the sweep::CellConsumer "
+          "overload");
+    }
+    if (!buffer_ && !cell_consumer_) {
+      problems.emplace_back(
+          "buffering is disabled and no on_cell consumer is set — every cell would "
+          "be discarded");
+    }
+    reps = options.repetitions;
+    axis = options.errors.size();
+  }
+
+  if (rep_block_ > reps && reps > 0) {
+    problems.emplace_back("rep_block (" + std::to_string(rep_block_) +
+                          ") exceeds repetitions (" + std::to_string(reps) +
+                          ") — shards cannot be larger than a cell");
+  }
+  const std::size_t shards =
+      platforms_.size() * axis * sweep::shards_per_site(reps, rep_block_);
+  if (threads_ > shards && shards > 0) {
+    problems.emplace_back("threads (" + std::to_string(threads_) +
+                          ") exceeds the total shard count (" + std::to_string(shards) +
+                          ") — the extra threads would idle; lower threads or rep_block");
+  }
+  return problems;
+}
+
+void Sweep::throw_if_invalid(const char* what) const {
+  const std::vector<std::string> problems = validate();
+  if (problems.empty()) return;
+  std::string joined = what;
+  for (const std::string& p : problems) joined += "\n  - " + p;
+  throw std::invalid_argument(joined);
+}
+
+std::vector<sweep::SweepCell> Sweep::execute() const {
+  if (jobs_mode_) {
+    throw std::invalid_argument("this Sweep is in open-system mode — call execute_jobs()");
+  }
+  throw_if_invalid("invalid Sweep description:");
+
+  std::vector<sweep::SweepCell> cells;
+  sweep::run_sweep_streaming(platforms_, policies_, closed_options(),
+                             [this, &cells](const sweep::SweepCell& cell) {
+                               if (cell_consumer_) cell_consumer_(cell);
+                               if (buffer_) cells.push_back(cell);
+                             });
+  // Site completion order is scheduling-dependent; the buffered view is not.
+  std::sort(cells.begin(), cells.end(),
+            [](const sweep::SweepCell& a, const sweep::SweepCell& b) {
+              return std::tie(a.platform_index, a.error_index, a.algorithm_index) <
+                     std::tie(b.platform_index, b.error_index, b.algorithm_index);
+            });
+  return cells;
+}
+
+std::vector<sweep::JobsSweepCell> Sweep::execute_jobs() const {
+  if (!jobs_mode_) {
+    throw std::invalid_argument(
+        "this Sweep is closed-system — call jobs() or loads() first, or execute()");
+  }
+  throw_if_invalid("invalid Sweep description:");
+
+  std::vector<sweep::JobsSweepCell> cells;
+  sweep::run_jobs_sweep(platforms_, open_options(),
+                        [this, &cells](const sweep::JobsSweepCell& cell) {
+                          if (jobs_consumer_) jobs_consumer_(cell);
+                          if (buffer_) cells.push_back(cell);
+                        });
+  std::sort(cells.begin(), cells.end(),
+            [](const sweep::JobsSweepCell& a, const sweep::JobsSweepCell& b) {
+              return std::tie(a.platform_index, a.load_index) <
+                     std::tie(b.platform_index, b.load_index);
+            });
+  return cells;
 }
 
 }  // namespace rumr

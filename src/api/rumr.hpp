@@ -25,6 +25,21 @@
 /// check::audit_sim_result before the result is returned, and a violation
 /// raises check::CheckError. Disable with .audit(false) if you are
 /// deliberately constructing degenerate runs.
+///
+/// Grid studies go through the `rumr::Sweep` builder — the single public
+/// entry point onto the sharded streaming sweep engine:
+///
+///   auto cells = rumr::Sweep()
+///                    .platforms(sweep::make_grid(sweep::GridSpec::decimated()))
+///                    .errors(sweep::error_axis())
+///                    .policies({"rumr", "umr", "factoring"})
+///                    .reps(50)
+///                    .threads(0)
+///                    .on_cell([](const sweep::SweepCell& c) { /* stream */ })
+///                    .execute();
+///
+/// sweep::run_sweep remains as a thin buffering compatibility wrapper over
+/// the same engine.
 
 #include <cstddef>
 #include <cstdint>
@@ -37,7 +52,9 @@
 #include "baselines/loop_scheduling.hpp"
 #include "baselines/multi_installment.hpp"
 #include "baselines/static_sequence.hpp"
+#include "check/check.hpp"
 #include "check/des_audit.hpp"
+#include "check/merge_audit.hpp"
 #include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "config/run_description.hpp"
@@ -232,6 +249,136 @@ class JobsRun {
   jobs::JobsOptions options_{};
   double pending_load_ = 0.0;  ///< poisson_load() fraction; 0 = explicit rate.
   bool audit_ = true;
+};
+
+/// Builder for a full parameter sweep — the single public entry point onto
+/// the sharded streaming sweep engine (sweep/runner.hpp).
+///
+/// Two modes share one builder:
+///
+///   - **closed-system** (the default): platforms x error axis x policies,
+///     every repetition a whole-workload race of the line-up. execute()
+///     returns the buffered cells in deterministic (platform, error,
+///     algorithm) order.
+///   - **open-system**: entered by jobs(base) or loads(axis); platforms x
+///     offered-load axis over a jobs::JobsOptions template. execute_jobs()
+///     returns the buffered cells in (platform, load) order.
+///
+/// Cells stream through on_cell() the moment their site's last shard lands
+/// (serialized, order across sites unspecified); pair on_cell() with
+/// buffer(false) to keep memory O(1) in the grid size. Results are
+/// byte-identical for every threads= setting — the shard structure, per-rep
+/// seeds (sweep::derive_rep_seed), and merge order never depend on the
+/// thread count.
+///
+/// validate() returns the full list of problems (empty = executable);
+/// execute()/execute_jobs() call it and raise std::invalid_argument carrying
+/// every problem at once.
+class Sweep {
+ public:
+  /// Starts empty of platforms (choose the scale explicitly — a sweep is an
+  /// expensive operation) with the paper defaults everywhere else: the
+  /// section 5.1 competitor line-up, the 0..0.5 error axis, 40 repetitions,
+  /// workload 1000, truncated-normal errors, auditing on.
+  Sweep();
+
+  // Platform axis ----------------------------------------------------------
+
+  /// Table 1-style lattice: every configuration of the spec.
+  Sweep& grid(const sweep::GridSpec& spec);
+  Sweep& platforms(std::vector<sweep::PlatformConfig> configs);
+  /// Arbitrary labelled platforms (heterogeneous clusters, custom farms).
+  /// The label is the platform's seed identity — keep it stable.
+  Sweep& platforms(std::vector<sweep::SweepPlatform> list);
+  /// Appends one custom platform to the axis.
+  Sweep& platform(platform::StarPlatform p, std::string label);
+
+  // Closed-system axis and line-up -----------------------------------------
+
+  Sweep& errors(std::vector<double> axis);
+  Sweep& policies(std::vector<sweep::AlgorithmSpec> specs);
+  /// Same vocabulary as Run::algorithm: rumr | rumr-adaptive | umr |
+  /// umr-eager | mi-<x> | factoring | wf | gss | tss | fsc. Unknown names
+  /// are reported by validate() (and execute()) rather than thrown here.
+  Sweep& policies(const std::vector<std::string>& names);
+  Sweep& workload(double units);
+  Sweep& distribution(stats::ErrorDistribution d);
+  /// Worker-availability fault injection applied to every repetition.
+  Sweep& faults(faults::FaultSpec spec);
+  Sweep& fault_tolerance(sim::SimOptions::FaultToleranceOptions tolerance);
+
+  // Open-system mode -------------------------------------------------------
+
+  /// Switches to open-system mode: each cell runs the multi-job engine over
+  /// `base` with the arrival rate re-derived for the cell's (platform, load)
+  /// and the seed re-derived per repetition. Set base.retain_jobs = false
+  /// for large grids so every run streams its jobs in O(1) memory.
+  Sweep& jobs(jobs::JobsOptions base);
+  /// Offered-load axis (fractions of aggregate compute capacity). Implies
+  /// open-system mode.
+  Sweep& loads(std::vector<double> axis);
+
+  // Execution knobs --------------------------------------------------------
+
+  /// Repetitions per cell (default: 40 closed-system, 3 open-system).
+  Sweep& reps(std::size_t n);
+  Sweep& threads(std::size_t n);  ///< 0 = hardware concurrency.
+  Sweep& seed(std::uint64_t s);
+  /// Repetitions per shard (0 = auto: up to 8 shards per site).
+  Sweep& rep_block(std::size_t n);
+  /// Self-audit every repetition (default on; violations raise
+  /// check::CheckError and abort the sweep).
+  Sweep& audit(bool on = true);
+  /// Closed-system cell sink — called under the engine's emission mutex.
+  Sweep& on_cell(sweep::CellConsumer consumer);
+  /// Open-system cell sink.
+  Sweep& on_cell(sweep::JobsCellConsumer consumer);
+  /// Buffer cells into execute()'s return value (default on). Disable for
+  /// huge grids — on_cell() then becomes the only output channel.
+  Sweep& buffer(bool on);
+
+  // Validation and execution -----------------------------------------------
+
+  /// Every problem with the current description, human-readable, in one
+  /// pass: empty axes, missing policies, unknown policy names, engine-level
+  /// option problems (SweepOptions/JobsOptions parity), and the cross-field
+  /// conflicts (buffer(false) without on_cell, a consumer for the wrong
+  /// mode, rep_block exceeding reps, threads exceeding the shard count).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Runs a closed-system sweep. Returns the buffered cells sorted by
+  /// (platform, error, algorithm) index — empty with buffer(false). Throws
+  /// std::invalid_argument listing every validate() problem.
+  [[nodiscard]] std::vector<sweep::SweepCell> execute() const;
+
+  /// Runs an open-system sweep. Returns the buffered cells sorted by
+  /// (platform, load) index — empty with buffer(false).
+  [[nodiscard]] std::vector<sweep::JobsSweepCell> execute_jobs() const;
+
+ private:
+  [[nodiscard]] sweep::SweepOptions closed_options() const;
+  [[nodiscard]] sweep::JobsSweepOptions open_options() const;
+  void throw_if_invalid(const char* what) const;
+
+  std::vector<sweep::SweepPlatform> platforms_;
+  std::vector<sweep::AlgorithmSpec> policies_;
+  std::vector<std::string> policy_problems_;  ///< Unknown names, reported by validate().
+  std::vector<double> errors_;
+  std::vector<double> loads_;
+  double workload_ = 1000.0;
+  stats::ErrorDistribution distribution_ = stats::ErrorDistribution::kTruncatedNormal;
+  faults::FaultSpec faults_{};
+  sim::SimOptions::FaultToleranceOptions fault_tolerance_{};
+  jobs::JobsOptions jobs_base_{};
+  bool jobs_mode_ = false;
+  std::size_t reps_ = 0;  ///< 0 = mode default (40 closed, 3 open).
+  std::size_t threads_ = 0;
+  std::uint64_t seed_ = 0x5eed5eed5eedULL;
+  std::size_t rep_block_ = 0;
+  bool audit_ = true;
+  sweep::CellConsumer cell_consumer_;
+  sweep::JobsCellConsumer jobs_consumer_;
+  bool buffer_ = true;
 };
 
 }  // namespace rumr

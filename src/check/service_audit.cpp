@@ -35,8 +35,18 @@ AuditReport audit_service_result(const jobs::ServiceResult& result,
   const double slack = audit.time_tolerance;
 
   // --- counter ledger ------------------------------------------------------
-  if (result.arrived != result.jobs.size()) {
-    violate("arrived counter ", result.arrived, " != recorded jobs ", result.jobs.size());
+  // Streaming runs (retain_jobs == false) fold each job into the aggregates
+  // at departure and keep no per-job records: the per-job cross-checks below
+  // are skipped, but every aggregate identity (ledger arithmetic, Little's
+  // law via the carried residence_time, load recomputation via the carried
+  // arrived_work, histogram totals) is still enforced.
+  if (result.jobs_retained) {
+    if (result.arrived != result.jobs.size()) {
+      violate("arrived counter ", result.arrived, " != recorded jobs ", result.jobs.size());
+    }
+  } else if (!result.jobs.empty()) {
+    violate("streaming run (jobs_retained == false) carries ", result.jobs.size(),
+            " per-job records");
   }
   std::size_t rejected = 0;
   std::size_t shed = 0;
@@ -51,12 +61,14 @@ AuditReport audit_service_result(const jobs::ServiceResult& result,
     shed += job.shed ? 1 : 0;
     completed += job.completed ? 1 : 0;
   }
-  if (rejected != result.rejected) {
-    violate("rejected counter ", result.rejected, " != per-job flags ", rejected);
-  }
-  if (shed != result.shed) violate("shed counter ", result.shed, " != per-job flags ", shed);
-  if (completed != result.completed) {
-    violate("completed counter ", result.completed, " != per-job flags ", completed);
+  if (result.jobs_retained) {
+    if (rejected != result.rejected) {
+      violate("rejected counter ", result.rejected, " != per-job flags ", rejected);
+    }
+    if (shed != result.shed) violate("shed counter ", result.shed, " != per-job flags ", shed);
+    if (completed != result.completed) {
+      violate("completed counter ", result.completed, " != per-job flags ", completed);
+    }
   }
   if (result.admitted != result.arrived - result.rejected) {
     violate("admitted ", result.admitted, " != arrived - rejected ",
@@ -153,26 +165,37 @@ AuditReport audit_service_result(const jobs::ServiceResult& result,
   }
 
   // --- Little's law and derived aggregates ---------------------------------
-  if (!close_rel(result.area_jobs_in_system, residence, rel)) {
+  // The carried residence_time always matches the N(t) integral; in retain
+  // mode the per-job sum independently recomputes it as a third witness.
+  if (!close_rel(result.area_jobs_in_system, result.residence_time, rel)) {
     violate("Little's law broken: integral of N(t) = ", result.area_jobs_in_system,
-            " but total residence time = ", residence);
+            " but carried residence_time = ", result.residence_time);
   }
-  if (!close_rel(result.total_work, total_work, rel)) {
-    violate("total_work ", result.total_work, " != completed sizes ", total_work);
-  }
-  if (!close_rel(result.share_time, share_time, rel)) {
-    violate("share_time ", result.share_time, " != segment worker-seconds ", share_time);
+  if (result.jobs_retained) {
+    if (!close_rel(result.residence_time, residence, rel)) {
+      violate("residence_time ", result.residence_time, " != per-job sum ", residence);
+    }
+    if (!close_rel(result.total_work, total_work, rel)) {
+      violate("total_work ", result.total_work, " != completed sizes ", total_work);
+    }
+    if (!close_rel(result.share_time, share_time, rel)) {
+      violate("share_time ", result.share_time, " != segment worker-seconds ", share_time);
+    }
+    if (!close_rel(result.arrived_work, arrived_work, rel)) {
+      violate("arrived_work ", result.arrived_work, " != per-job sizes ", arrived_work);
+    }
   }
   if (result.horizon > 0.0) {
     const double capacity = platform.total_speed() * result.horizon;
-    if (capacity > 0.0 && !close_rel(result.utilization, total_work / capacity, rel)) {
+    if (capacity > 0.0 && !close_rel(result.utilization, result.total_work / capacity, rel)) {
       violate("utilization ", result.utilization, " does not recompute");
     }
-    if (capacity > 0.0 && !close_rel(result.offered_load, arrived_work / capacity, rel)) {
+    if (capacity > 0.0 &&
+        !close_rel(result.offered_load, result.arrived_work / capacity, rel)) {
       violate("offered_load ", result.offered_load, " does not recompute");
     }
     const double share_util =
-        share_time / (static_cast<double>(platform.size()) * result.horizon);
+        result.share_time / (static_cast<double>(platform.size()) * result.horizon);
     if (!close_rel(result.share_utilization, share_util, rel)) {
       violate("share_utilization ", result.share_utilization, " does not recompute");
     }

@@ -25,6 +25,12 @@
 ///     share_utilization, and offered_load recompute from the per-job data;
 ///   - histogram ledger: each service-metric histogram holds exactly one
 ///     sample per relevant job.
+///
+/// Streaming runs (JobsOptions::retain_jobs == false) keep no per-job
+/// records; the per-job cross-checks are skipped for them, while every
+/// aggregate identity — ledger arithmetic, Little's law against the carried
+/// residence_time, load recomputation against the carried arrived_work, and
+/// the histogram totals — is still enforced.
 
 #include "check/des_audit.hpp"
 #include "jobs/job_manager.hpp"

@@ -108,6 +108,7 @@ class JobManager {
  public:
   JobManager(const platform::StarPlatform& platform, const JobsOptions& options)
       : platform_(platform), opts_(options), stream_(options.stream, options.sim.seed) {
+    result_.jobs_retained = opts_.retain_jobs;
     result_.stats.response_times = obs::Histogram::exponential(1.0, 2.0, 30);
     result_.stats.slowdowns = obs::Histogram::exponential(1.0, 1.25, 24);
     result_.stats.queue_waits = obs::Histogram::exponential(0.5, 2.0, 30);
@@ -160,8 +161,12 @@ class JobManager {
     outcome.best_service =
         analysis::makespan_lower_bounds(platform_, job.size, opts_.sim.uplink_channels)
             .combined();
-    RUMR_CHECK(result_.jobs.size() == job.id, "jobs arrive in stream order");
-    result_.jobs.push_back(std::move(outcome));
+    RUMR_CHECK(result_.arrived == job.id, "jobs arrive in stream order");
+    if (opts_.retain_jobs) {
+      result_.jobs.push_back(std::move(outcome));
+    } else {
+      inflight_.emplace(job.id, std::move(outcome));
+    }
     ++result_.arrived;
     result_.stats.job_sizes.add(job.size);
     arrived_work_ += job.size;
@@ -173,8 +178,9 @@ class JobManager {
       admit(job.id);
     } else if (opts_.admission == AdmissionPolicy::kRejectNew || queue_.empty()) {
       // Zero-capacity queues leave shed-oldest nothing to shed: reject.
-      result_.jobs[job.id].rejected = true;
+      job_ref(job.id).rejected = true;
       ++result_.rejected;
+      release(job.id);
     } else {
       shed_oldest();
       admit(job.id);
@@ -200,11 +206,13 @@ class JobManager {
     queue_.erase(queue_.begin());
     advance_area();
     --in_system_;
-    JobOutcome& o = result_.jobs[victim];
+    JobOutcome& o = job_ref(victim);
     o.shed = true;
     o.departure = sim_.now();
     o.queue_wait = sim_.now() - o.arrival;
+    result_.residence_time += o.departure - o.arrival;
     ++result_.shed;
+    release(victim);
   }
 
   /// Removes and returns the waiting job the discipline ranks first.
@@ -212,8 +220,8 @@ class JobManager {
     std::size_t best = 0;
     if (opts_.discipline != QueueDiscipline::kFcfs) {
       for (std::size_t i = 1; i < queue_.size(); ++i) {
-        const JobOutcome& a = result_.jobs[queue_[i]];
-        const JobOutcome& b = result_.jobs[queue_[best]];
+        const JobOutcome& a = job_ref(queue_[i]);
+        const JobOutcome& b = job_ref(queue_[best]);
         bool better = false;
         if (opts_.discipline == QueueDiscipline::kSjf) {
           better = a.size < b.size || (a.size == b.size && a.id < b.id);
@@ -244,8 +252,8 @@ class JobManager {
         const std::size_t id = pick_next();
         Active a;
         a.job = id;
-        a.remaining = result_.jobs[id].size;
-        JobOutcome& o = result_.jobs[id];
+        JobOutcome& o = job_ref(id);
+        a.remaining = o.size;
         o.start = sim_.now();
         o.queue_wait = sim_.now() - o.arrival;
         active_.push_back(std::move(a));
@@ -260,10 +268,10 @@ class JobManager {
       const std::size_t id = pick_next();
       Active a;
       a.job = id;
-      a.remaining = result_.jobs[id].size;
       a.first = p.first;
       a.count = p.count;
-      JobOutcome& o = result_.jobs[id];
+      JobOutcome& o = job_ref(id);
+      a.remaining = o.size;
       o.start = sim_.now();
       o.queue_wait = sim_.now() - o.arrival;
       p.active = std::move(a);
@@ -293,7 +301,7 @@ class JobManager {
   template <typename Callback>
   void open_segment(Active& a, Callback on_complete) {
     a.seg_begin = sim_.now();
-    if (a.remaining <= 1e-12 * result_.jobs[a.job].size) {
+    if (a.remaining <= 1e-12 * job_ref(a.job).size) {
       // A same-instant re-partition closed the previous segment exactly at
       // its predicted end: the job is done; fire completion without another
       // oracle run.
@@ -311,7 +319,7 @@ class JobManager {
   void close_segment(Active& a, double fraction_done) {
     const double done = a.remaining * fraction_done;
     const des::SimTime now = sim_.now();
-    JobOutcome& o = result_.jobs[a.job];
+    JobOutcome& o = job_ref(a.job);
     if (now > a.seg_begin || done > 0.0) {
       o.segments.push_back({a.seg_begin, now, a.first, a.count, done});
       result_.share_time += static_cast<double>(a.count) * (now - a.seg_begin);
@@ -335,7 +343,7 @@ class JobManager {
 
   void finalize_completed(Active& a) {
     close_segment(a, 1.0);
-    JobOutcome& o = result_.jobs[a.job];
+    JobOutcome& o = job_ref(a.job);
     o.completed = true;
     o.departure = sim_.now();
     o.response = o.departure - o.arrival;
@@ -343,11 +351,13 @@ class JobManager {
     o.slowdown = o.best_service > 0.0 ? o.response / o.best_service : 0.0;
     ++result_.completed;
     result_.total_work += o.size;
+    result_.residence_time += o.response;
     result_.stats.response_times.add(o.response);
     result_.stats.slowdowns.add(o.slowdown);
     result_.stats.queue_waits.add(o.queue_wait);
     advance_area();
     --in_system_;
+    release(a.job);
   }
 
   void on_partition_complete(std::size_t pi) {
@@ -427,7 +437,23 @@ class JobManager {
     return it->second;
   }
 
+  /// The live record for job `id`: the outcome table in retain mode, the
+  /// in-flight map in streaming mode. Valid from arrival until release().
+  JobOutcome& job_ref(std::size_t id) {
+    if (opts_.retain_jobs) return result_.jobs[id];
+    const auto it = inflight_.find(id);
+    RUMR_CHECK(it != inflight_.end(), "streaming mode touched a released job");
+    return it->second;
+  }
+
+  /// Terminal departure in streaming mode: the per-job record has been folded
+  /// into the aggregates, drop it so memory tracks jobs *in flight* only.
+  void release(std::size_t id) {
+    if (!opts_.retain_jobs) inflight_.erase(id);
+  }
+
   void finish_aggregates() {
+    result_.arrived_work = arrived_work_;
     result_.stats.arrived = result_.arrived;
     result_.stats.admitted = result_.admitted;
     result_.stats.rejected = result_.rejected;
@@ -457,6 +483,11 @@ class JobManager {
   std::size_t in_system_ = 0;           ///< Admitted, not yet departed.
   des::SimTime area_clock_ = 0.0;
   double arrived_work_ = 0.0;
+  /// Streaming mode (retain_jobs == false): the outcome records of jobs
+  /// currently in flight, dropped on terminal departure. (std::map, not
+  /// unordered — iteration order never matters here, and the determinism
+  /// lint bans unordered containers in src/ outright.)
+  std::map<std::size_t, JobOutcome> inflight_;
   std::map<std::pair<std::size_t, std::size_t>, platform::StarPlatform> share_cache_;
 };
 

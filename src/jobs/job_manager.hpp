@@ -105,6 +105,16 @@ struct JobsOptions {
   /// ServiceResult::trace. Costs memory; off by default.
   bool record_trace = false;
 
+  /// Keep every per-job JobOutcome on ServiceResult::jobs (the default).
+  /// Disable for large open-system runs (the sharded sweep engine does):
+  /// outcomes then live only while their job is in flight and are folded
+  /// into the aggregate counters/histograms on departure, so peak memory is
+  /// O(jobs concurrently in the system) instead of O(total jobs).
+  /// ServiceResult::jobs stays empty and jobs_retained records the mode;
+  /// the aggregate identities (Little's law via residence_time, the work
+  /// ledger via arrived_work) remain fully audited either way.
+  bool retain_jobs = true;
+
   /// Every problem with the options, human-readable; empty means usable.
   /// `num_workers` enables the platform-dependent checks (partitions vs
   /// worker count); pass 0 to skip them.
@@ -164,6 +174,20 @@ struct ServiceResult {
   /// Little's-law identity: equals the sum of (departure - arrival) over
   /// admitted jobs — audited by check::audit_service_result.
   double area_jobs_in_system = 0.0;
+
+  /// Sum of (departure - arrival) over admitted jobs, accumulated
+  /// incrementally at each departure — the other side of the Little's-law
+  /// identity, carried on the result so streaming runs (jobs_retained ==
+  /// false, no per-job records) still audit it.
+  double residence_time = 0.0;
+
+  /// Workload units across *arrived* jobs (rejected ones included) — the
+  /// offered-load numerator, carried for the same reason.
+  double arrived_work = 0.0;
+
+  /// False when options.retain_jobs was false: `jobs` is empty by design and
+  /// auditors skip the per-job cross-checks (aggregate identities still hold).
+  bool jobs_retained = true;
 
   double total_work = 0.0;  ///< Workload units completed across all jobs.
   /// Worker-seconds held by service segments (share width x duration).

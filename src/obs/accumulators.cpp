@@ -1,0 +1,98 @@
+#include "obs/accumulators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rumr::obs {
+
+QuantileSketch::QuantileSketch(double min_edge, double growth, std::size_t buckets)
+    : min_edge_(min_edge),
+      growth_(growth),
+      inv_log_growth_(1.0 / std::log(growth)),
+      buckets_(buckets) {
+  if (!(min_edge > 0.0) || !(growth > 1.0) || buckets < 1) {
+    throw std::invalid_argument(
+        "QuantileSketch needs min_edge > 0, growth > 1, buckets >= 1");
+  }
+  counts_.assign(buckets_ + 2, 0);
+}
+
+std::size_t QuantileSketch::bucket_of(double sample) const noexcept {
+  if (!(sample > min_edge_)) return 0;  // Underflow (also NaN: comparison false).
+  const double position = std::log(sample / min_edge_) * inv_log_growth_;
+  // position in (0, buckets_] maps to bucket 1..buckets_; beyond -> overflow.
+  const double cell = std::ceil(position);
+  if (cell > static_cast<double>(buckets_)) return buckets_ + 1;
+  return static_cast<std::size_t>(cell);
+}
+
+void QuantileSketch::add(double sample) noexcept {
+  ++counts_[bucket_of(sample)];
+  ++count_;
+  sum_ += sample;
+  if (count_ == 1 || sample < min_) min_ = sample;
+  if (count_ == 1 || sample > max_) max_ = sample;
+}
+
+bool QuantileSketch::same_comb(const QuantileSketch& other) const noexcept {
+  // The comb is fully determined by its three construction parameters; they
+  // are never mutated, so bitwise comparison is the right equality here.
+  return min_edge_ == other.min_edge_ && growth_ == other.growth_ &&
+         buckets_ == other.buckets_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (!same_comb(other)) {
+    throw std::invalid_argument("QuantileSketch::merge requires an identical comb");
+  }
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::bucket_lo(std::size_t b) const noexcept {
+  double lo = 0.0;
+  if (b == 0) {
+    lo = 0.0;
+  } else {
+    lo = min_edge_ * std::pow(growth_, static_cast<double>(b - 1));
+  }
+  return std::max(lo, min_);
+}
+
+double QuantileSketch::bucket_hi(std::size_t b) const noexcept {
+  double hi = 0.0;
+  if (b >= buckets_ + 1) {
+    hi = max_;
+  } else {
+    hi = min_edge_ * std::pow(growth_, static_cast<double>(b));
+  }
+  return std::min(hi, max_);
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // rank in [1, count_]: the q-th order statistic (nearest-rank, then
+  // interpolated within the resolved bucket).
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  double below = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts_[b]);
+    if (in_bucket <= 0.0) continue;
+    if (below + in_bucket >= rank) {
+      const double lo = bucket_lo(b);
+      const double hi = bucket_hi(b);
+      const double frac = (rank - below) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    below += in_bucket;
+  }
+  return max_;  // Rounding fell off the end: the top order statistic.
+}
+
+}  // namespace rumr::obs

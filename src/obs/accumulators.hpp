@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file accumulators.hpp
+/// Mergeable streaming accumulators for sharded aggregation.
+///
+/// The sharded sweep engine (sweep/runner.hpp) partitions a cell's
+/// repetitions across shards, folds each shard's observations into local
+/// accumulators, and reduces the shards with merge(). Every accumulator here
+/// therefore satisfies two contracts the engine's determinism guarantee
+/// rests on:
+///
+///   - streaming: add() is O(1) in memory — a shard's footprint does not
+///     grow with the number of observations it folds in;
+///   - mergeable: merge() combines two accumulators into the accumulator of
+///     the concatenated sample. Integer state (counts) merges exactly, so it
+///     is associative and commutative outright; floating state (sums,
+///     Welford moments) is exact only up to rounding, which is why the
+///     engine always reduces shards in shard-index order — a fixed merge
+///     tree makes the result byte-identical regardless of thread count or
+///     completion order, and check's merge audit pins the sharded-vs-serial
+///     agreement at 1e-9.
+///
+/// The pieces: obs::Counter and obs::Histogram (metrics.hpp) grew merge()
+/// for this purpose; StreamingMoments re-exports stats::Accumulator (mean /
+/// variance via Welford, pairwise merge); QuantileSketch adds streaming
+/// quantile estimates on a fixed geometric comb.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace rumr::obs {
+
+/// Streaming mean/variance with an associative merge — Welford's algorithm
+/// plus the Chan et al. pairwise combination. Lives in stats:: because the
+/// batch helpers use it too; re-exported here so the obs accumulator family
+/// is complete in one include.
+using StreamingMoments = stats::Accumulator;
+
+/// Streaming quantile sketch on a fixed geometric comb.
+///
+/// Samples land in log-spaced buckets between `min_edge` and
+/// `min_edge * growth^buckets`; quantile() interpolates linearly inside the
+/// resolved bucket, so the estimate's relative error is bounded by the
+/// bucket width (growth - 1, e.g. 5% for the default comb). Because the comb
+/// is fixed at construction, add() is allocation-free and merge() is exact
+/// on the counts: two sketches with the same comb merge associatively and
+/// commutatively (the doubles — sum, min, max — are exact-in-any-order for
+/// min/max and order-sensitive only in the last ulps for the sum).
+///
+/// This is deliberately simpler than GK/t-digest sketches: deterministic,
+/// byte-stable under a fixed merge order, and accurate enough for the
+/// makespan/response-time distributions the sweep engine summarizes.
+class QuantileSketch {
+ public:
+  /// Default comb: 128 buckets from 1e-3 growing 5% per bucket (covers
+  /// ~1e-3 .. 500 with <= 5% relative quantile error; values outside the
+  /// comb land in the under/overflow buckets and are bounded by min()/max()).
+  QuantileSketch() : QuantileSketch(1e-3, 1.05, 128) {}
+
+  /// Custom comb. Requires min_edge > 0, growth > 1, buckets >= 1.
+  QuantileSketch(double min_edge, double growth, std::size_t buckets);
+
+  void add(double sample) noexcept;
+
+  /// Merges a sketch with the same comb (asserted) into this one.
+  void merge(const QuantileSketch& other);
+
+  /// Estimated q-quantile, q in [0, 1]; exact at the observed min/max ends,
+  /// linearly interpolated inside the resolved bucket. 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+  /// True when `other` uses an identical comb (mergeable).
+  [[nodiscard]] bool same_comb(const QuantileSketch& other) const noexcept;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  /// Bucket index for a sample: 0 is the underflow bucket (<= min_edge),
+  /// buckets_ + 1 the overflow bucket.
+  [[nodiscard]] std::size_t bucket_of(double sample) const noexcept;
+  /// Lower/upper value bounds of bucket `b`, clamped to the observed range.
+  [[nodiscard]] double bucket_lo(std::size_t b) const noexcept;
+  [[nodiscard]] double bucket_hi(std::size_t b) const noexcept;
+
+  double min_edge_ = 0.0;
+  double growth_ = 0.0;
+  double inv_log_growth_ = 0.0;
+  std::size_t buckets_ = 0;
+  std::vector<std::uint64_t> counts_;  ///< underflow + buckets + overflow.
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rumr::obs

@@ -46,6 +46,26 @@ void Histogram::add(double sample) noexcept {
   if (total_ == 1 || sample > max_) max_ = sample;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.total_ == 0 && other.edges_.empty()) return;
+  if (edges_.empty() && total_ == 0) {
+    *this = other;
+    return;
+  }
+  if (edges_ != other.edges_) {
+    throw std::invalid_argument("Histogram::merge requires identical upper edges");
+  }
+  if (other.total_ == 0) return;
+  if (counts_.empty()) counts_.assign(edges_.size() + 1, 0);
+  for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (total_ == 0 || other.max_ > max_) max_ = other.max_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
 namespace {
 
 /// JSON number: full precision, non-finite as null (JSON has no inf/nan).

@@ -34,6 +34,11 @@ class Counter {
   void increment(std::uint64_t by = 1) noexcept { value_ += by; }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
 
+  /// Folds another counter in. Integer addition — exactly associative and
+  /// commutative, so sharded aggregation (obs/accumulators.hpp) can reduce
+  /// counters in any order.
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -69,6 +74,15 @@ class Histogram {
                                              std::size_t count);
 
   void add(double sample) noexcept;
+
+  /// Folds another histogram with identical upper edges into this one
+  /// (throws std::invalid_argument on an edge mismatch). Bucket counts and
+  /// totals are integers, so the merge is exactly associative/commutative;
+  /// sum is FP-exact up to addition order, which is why the sharded sweep
+  /// engine merges shards in a fixed order. A default-constructed (edgeless,
+  /// empty) histogram adopts the other side's edges, so zero-value partials
+  /// merge cleanly.
+  void merge(const Histogram& other);
 
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }

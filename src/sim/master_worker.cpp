@@ -830,7 +830,12 @@ class Engine final : public MasterContext {
       if (recovery_on_ && (epoch != lease_epoch_[w] || !ground_alive_[w])) {
         // Stale lease (the worker was fenced after this send — the chunk was
         // already reclaimed) or a dead target: the payload evaporates. The
-        // freed buffer slot may let a queued re-dispatch proceed.
+        // freed buffer slot may let a blocked send or a queued re-dispatch
+        // proceed — without the release here a send that blocked on this
+        // worker after its fence deadlocks forever (try_dispatch never runs
+        // while a pending send holds the uplink, and maybe_start_compute
+        // never fires for a slot freed by evaporation).
+        release_blocked_send(w);
         if (!redispatch_queue_.empty() || !retx_queue_.empty()) try_dispatch();
         return;
       }
@@ -932,17 +937,10 @@ class Engine final : public MasterContext {
     try_dispatch();
   }
 
-  void maybe_start_compute(std::size_t w) {
-    if (recovery_on_ && !ground_alive_[w]) return;
-    if (computing_[w] || queues_[w].empty()) return;
-    const QueuedChunk next = queues_[w].front();
-    queues_[w].pop_front();
-    computing_[w] = true;
-    probe_.compute_begin(w, sim_.now());
-
-    // Popping freed a buffer slot; a blocked send waiting on this worker can
-    // proceed now (its transfer time starts here, after the wait). Release
-    // the reserved channel first: begin_send re-acquires it.
+  /// Re-starts a rendezvous-blocked send aimed at worker w once a buffer
+  /// slot is free again. Releases the reserved channel first: begin_send
+  /// re-acquires it (the transfer time starts now, after the wait).
+  void release_blocked_send(std::size_t w) {
     if (pending_send_ && pending_send_->worker == w &&
         committed_slots(w) < options_.worker_buffer_capacity) {
       const Dispatch unblocked = *pending_send_;
@@ -952,6 +950,19 @@ class Engine final : public MasterContext {
       probe_.block_end(sim_.now());
       begin_send(unblocked);
     }
+  }
+
+  void maybe_start_compute(std::size_t w) {
+    if (recovery_on_ && !ground_alive_[w]) return;
+    if (computing_[w] || queues_[w].empty()) return;
+    const QueuedChunk next = queues_[w].front();
+    queues_[w].pop_front();
+    computing_[w] = true;
+    probe_.compute_begin(w, sim_.now());
+
+    // Popping freed a buffer slot; a blocked send waiting on this worker can
+    // proceed now (its transfer time starts here, after the wait).
+    release_blocked_send(w);
 
     const double actual_comp = comp_process_.actual_duration(next.predicted_comp, rng_);
     const des::SimTime t0 = sim_.now();

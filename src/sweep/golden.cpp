@@ -5,12 +5,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "faults/fault_model.hpp"
 #include "jobs/job_manager.hpp"
 #include "platform/platform.hpp"
 #include "sim/master_worker.hpp"
+#include "sweep/runner.hpp"
 #include "sweep/scheduler_factory.hpp"
 #include "util/json_lite.hpp"
 
@@ -93,6 +96,11 @@ void faulty_link_options(sim::SimOptions& options) {
 /// sharing policy.
 constexpr const char* kJobsScenario = "jobs-poisson";
 
+/// The sharded sweep-engine scenario (see record_sweep_scenario): pins the
+/// cell aggregates — and therefore the shard decomposition, per-rep seed
+/// derivation, and fixed-order merge tree — of a small multi-threaded sweep.
+constexpr const char* kSweepScenario = "sweep-sharded";
+
 constexpr ScenarioDef kScenarios[] = {
     {"homogeneous-10", 1000.0, 0.3, 42, &homogeneous_10, &no_faults, nullptr},
     {"heterogeneous-4", 400.0, 0.2, 7, &heterogeneous_4, &no_faults, nullptr},
@@ -104,6 +112,9 @@ constexpr ScenarioDef kScenarios[] = {
     // jobs-poisson is handled by record_jobs_scenario; w_total stands in for
     // the per-job mean size.
     {kJobsScenario, 300.0, 0.2, 17, &homogeneous_10, &no_faults, nullptr},
+    // sweep-sharded is handled by record_sweep_scenario; error is the top of
+    // the two-level error axis {0, error}.
+    {kSweepScenario, 500.0, 0.3, 23, &homogeneous_10, &no_faults, nullptr},
 };
 
 const ScenarioDef& find_scenario(const std::string& name) {
@@ -191,9 +202,65 @@ GoldenScenario record_jobs_scenario(const ScenarioDef& def) {
   return scenario;
 }
 
+/// Fingerprints a small sweep through the sharded streaming engine — one
+/// platform, error axis {0, def.error}, the golden line-up, 6 repetitions in
+/// 2-rep shards on 4 threads. The engine's determinism contract makes the
+/// thread count irrelevant to the bytes produced; running threaded in the
+/// regression suite keeps that claim continuously tested. GoldenCase fields
+/// are reused under this mapping:
+///   algorithm          <- "<algorithm>@err=<error>"
+///   makespan           <- cell makespan mean over reps
+///   work_dispatched    <- cell makespan variance (sensitive to the merge
+///                         tree: any reorder of the Chan merges drifts it)
+///   uplink_busy_time   <- cell uplink-utilization sum over reps
+///   chunks             <- repetitions folded into the cell
+///   events             <- total DES events across the cell's reps
+///   chunks_redispatched<- paired per-rep reference wins
+GoldenScenario record_sweep_scenario(const ScenarioDef& def) {
+  GoldenScenario scenario;
+  scenario.name = def.name;
+  scenario.w_total = def.w_total;
+  scenario.error = def.error;
+  scenario.seed = def.seed;
+
+  SweepOptions options;
+  options.errors = {0.0, def.error};
+  options.repetitions = 6;
+  options.rep_block = 2;
+  options.threads = 4;
+  options.w_total = def.w_total;
+  options.base_seed = def.seed;
+
+  std::vector<SweepCell> cells;
+  run_sweep_streaming({SweepPlatform{"golden-hom-10", def.make_platform()}}, golden_lineup(),
+                      options, [&cells](const SweepCell& cell) { cells.push_back(cell); });
+  // Emission order across sites is unspecified; fixture order is not.
+  std::sort(cells.begin(), cells.end(), [](const SweepCell& a, const SweepCell& b) {
+    return a.error_index != b.error_index ? a.error_index < b.error_index
+                                          : a.algorithm_index < b.algorithm_index;
+  });
+
+  std::ostringstream label;
+  for (const SweepCell& cell : cells) {
+    label.str("");
+    label << cell.algorithm << "@err=" << cell.error;
+    GoldenCase c;
+    c.algorithm = label.str();
+    c.makespan = cell.stats.makespan.mean();
+    c.work_dispatched = cell.stats.makespan.variance();
+    c.uplink_busy_time = cell.stats.uplink_utilization.sum();
+    c.chunks = cell.stats.reps;
+    c.events = static_cast<std::uint64_t>(std::llround(cell.stats.events.sum()));
+    c.chunks_redispatched = cell.stats.ref_wins;
+    scenario.cases.push_back(std::move(c));
+  }
+  return scenario;
+}
+
 GoldenScenario record_scenario(const std::string& name) {
   const ScenarioDef& def = find_scenario(name);
   if (name == kJobsScenario) return record_jobs_scenario(def);
+  if (name == kSweepScenario) return record_sweep_scenario(def);
   const platform::StarPlatform platform = def.make_platform();
 
   GoldenScenario scenario;

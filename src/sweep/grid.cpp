@@ -83,6 +83,19 @@ std::vector<PlatformConfig> make_grid(const GridSpec& spec) {
   return configs;
 }
 
+SweepPlatform SweepPlatform::from_config(const PlatformConfig& config) {
+  return {config.label(), config.to_platform()};
+}
+
+std::vector<SweepPlatform> wrap_grid(const std::vector<PlatformConfig>& configs) {
+  std::vector<SweepPlatform> platforms;
+  platforms.reserve(configs.size());
+  for (const PlatformConfig& config : configs) {
+    platforms.push_back(SweepPlatform::from_config(config));
+  }
+  return platforms;
+}
+
 std::vector<double> error_axis(double max_error, double step) {
   std::vector<double> errors;
   for (double e = 0.0; e <= max_error + 1e-9; e += step) {

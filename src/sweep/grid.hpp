@@ -34,6 +34,23 @@ struct PlatformConfig {
   [[nodiscard]] std::string label() const;
 };
 
+/// A sweepable platform: any star platform under a stable human-readable
+/// label. The label doubles as the platform's *seed identity* — the sharded
+/// sweep engine hashes it (FNV-1a) into every per-repetition seed — so two
+/// entries with the same label replay identically and renaming a platform
+/// deliberately re-randomizes it. Table 1 grids wrap via from_config();
+/// hand-built platforms (e.g. the image-rendering example's 16-worker
+/// cluster) pass any descriptive label.
+struct SweepPlatform {
+  std::string label;
+  platform::StarPlatform platform;
+
+  [[nodiscard]] static SweepPlatform from_config(const PlatformConfig& config);
+};
+
+/// Wraps every config of a grid (label = config.label()).
+[[nodiscard]] std::vector<SweepPlatform> wrap_grid(const std::vector<PlatformConfig>& configs);
+
 /// Axis values defining a (sub)grid of Table 1.
 struct GridSpec {
   std::vector<std::size_t> n_values;

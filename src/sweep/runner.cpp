@@ -1,9 +1,16 @@
 #include "sweep/runner.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "check/merge_audit.hpp"
+#include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
+#include "jobs/job_stream.hpp"
 #include "sim/master_worker.hpp"
 #include "stats/rng.hpp"
 #include "sweep/thread_pool.hpp"
@@ -35,6 +42,63 @@ std::vector<std::string> SweepOptions::validate() const {
   return problems;
 }
 
+std::uint64_t derive_rep_seed(std::uint64_t base_seed, const std::string& platform_label,
+                              double axis_value, std::size_t rep) noexcept {
+  // FNV-1a folds the label into the seed so any star platform — not just a
+  // Table 1 lattice point — gets a stable identity; the axis value is
+  // quantized onto a 1e-3 lattice so axis-generation FP noise cannot move
+  // the seed.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : platform_label) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  const auto quantized = static_cast<std::uint64_t>(std::llround(axis_value * 1000.0));
+  return stats::mix_seed(base_seed ^ hash, quantized, rep);
+}
+
+void CellStats::merge(const CellStats& other) {
+  makespan.merge(other.makespan);
+  reps += other.reps;
+  ref_wins += other.ref_wins;
+  ref_wins_by_10pct += other.ref_wins_by_10pct;
+  uplink_utilization.merge(other.uplink_utilization);
+  worker_utilization.merge(other.worker_utilization);
+  events.merge(other.events);
+  hol_blocking_time.merge(other.hol_blocking_time);
+  work_redispatched.merge(other.work_redispatched);
+  makespan_quantiles.merge(other.makespan_quantiles);
+}
+
+void JobsCellStats::merge(const JobsCellStats& other) {
+  arrived += other.arrived;
+  admitted += other.admitted;
+  rejected += other.rejected;
+  shed += other.shed;
+  completed += other.completed;
+  manager_events += other.manager_events;
+  oracle_runs += other.oracle_runs;
+  oracle_events += other.oracle_events;
+  reps += other.reps;
+  mean_response.merge(other.mean_response);
+  mean_slowdown.merge(other.mean_slowdown);
+  utilization.merge(other.utilization);
+  share_utilization.merge(other.share_utilization);
+  horizon.merge(other.horizon);
+  response_times.merge(other.response_times);
+  slowdowns.merge(other.slowdowns);
+  queue_waits.merge(other.queue_waits);
+  job_sizes.merge(other.job_sizes);
+}
+
+std::size_t shards_per_site(std::size_t reps, std::size_t rep_block) noexcept {
+  if (reps == 0) return 0;
+  if (rep_block == 0) rep_block = (reps + 7) / 8;
+  if (rep_block < 1) rep_block = 1;
+  if (rep_block > reps) rep_block = reps;
+  return (reps + rep_block - 1) / rep_block;
+}
+
 namespace {
 
 sim::SimOptions make_sim_options(double error, std::uint64_t seed,
@@ -50,16 +114,160 @@ sim::SimOptions make_sim_options(double error, std::uint64_t seed,
   return options;
 }
 
-std::uint64_t derive_seed(std::uint64_t base, const PlatformConfig& config, double error,
-                          std::size_t rep) {
-  // Quantize doubles onto their Table 1 lattice so the seed is stable under
-  // floating-point noise in axis generation.
-  const auto q = [](double v) { return static_cast<std::uint64_t>(std::llround(v * 1000.0)); };
-  const std::uint64_t a = stats::mix_seed(base, config.n, q(config.b_over_n), q(config.clat));
-  return stats::mix_seed(a, q(config.nlat), q(error), rep);
+void throw_invalid(const char* what, const std::vector<std::string>& problems) {
+  std::string joined = what;
+  for (const std::string& p : problems) joined += "\n  - " + p;
+  throw std::invalid_argument(joined);
+}
+
+/// Shards per site: how many rep-blocks a (platform, axis) site splits into.
+/// Deliberately a function of (reps, rep_block) only — NEVER of the thread
+/// count — so the shard structure, and therefore the fixed-order merge tree,
+/// is identical for every threads= setting.
+std::size_t resolve_rep_block(std::size_t reps, std::size_t rep_block) {
+  if (rep_block == 0) rep_block = (reps + 7) / 8;
+  if (rep_block < 1) rep_block = 1;
+  return std::min(rep_block, reps);
+}
+
+/// The map-reduce scaffold shared by the closed- and open-system engines.
+///
+/// Runs `sites x blocks` shards across parallel_for. Each site keeps a slot
+/// per shard partial plus an atomic countdown; the shard that lands last
+/// reduces the site's partials **in shard-index order** (the release/acquire
+/// pair on the countdown makes every earlier partial visible to it) and
+/// emits under a shared mutex, so consumers see serialized calls. Per-site
+/// memory dies with the emission — completed sites hold nothing.
+template <typename Partial, typename RunShard, typename Emit>
+void run_sharded(std::size_t sites, std::size_t blocks, std::size_t threads,
+                 const RunShard& run_shard, const Emit& emit) {
+  struct Site {
+    std::vector<std::optional<Partial>> parts;
+    std::atomic<std::size_t> remaining{0};
+  };
+  std::vector<Site> state(sites);
+  for (Site& site : state) {
+    site.parts.resize(blocks);
+    site.remaining.store(blocks, std::memory_order_relaxed);
+  }
+  std::mutex emit_mutex;
+
+  parallel_for(
+      sites * blocks,
+      [&](std::size_t shard) {
+        const std::size_t site_idx = shard / blocks;
+        const std::size_t block = shard % blocks;
+        Site& site = state[site_idx];
+        site.parts[block] = run_shard(site_idx, block);
+        if (site.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          Partial merged = std::move(*site.parts[0]);
+          for (std::size_t b = 1; b < blocks; ++b) {
+            merged.merge(*site.parts[b]);
+            site.parts[b].reset();
+          }
+          site.parts.clear();
+          site.parts.shrink_to_fit();
+          const std::lock_guard lock(emit_mutex);
+          emit(site_idx, std::move(merged));
+        }
+      },
+      threads);
+}
+
+/// A closed-system site partial: one CellStats per algorithm.
+struct ClosedPartial {
+  std::vector<CellStats> cells;
+
+  void merge(const ClosedPartial& other) {
+    for (std::size_t a = 0; a < cells.size(); ++a) cells[a].merge(other.cells[a]);
+  }
+};
+
+ClosedPartial run_closed_shard(const SweepPlatform& site, double error, std::size_t rep_begin,
+                               std::size_t rep_end, const std::vector<AlgorithmSpec>& algorithms,
+                               const SweepOptions& options) {
+  ClosedPartial partial;
+  partial.cells.resize(algorithms.size());
+  std::vector<double> makespans(algorithms.size());
+  for (std::size_t rep = rep_begin; rep < rep_end; ++rep) {
+    // One seed per repetition, shared by every algorithm: the reference and
+    // its competitors face the same perturbation draw, keeping the win-rate
+    // comparisons paired (the paper's Tables 2-3 methodology).
+    const std::uint64_t seed = derive_rep_seed(options.base_seed, site.label, error, rep);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      const auto policy = algorithms[a].make(site.platform, options.w_total, error);
+      const sim::SimOptions sim_options = make_sim_options(
+          error, seed, options.distribution, options.faults, options.fault_tolerance);
+      const sim::SimResult sim_result = simulate(site.platform, *policy, sim_options);
+      makespans[a] = sim_result.makespan;
+
+      if (options.audit_runs) {
+        check::TraceAuditOptions audit_options;
+        audit_options.work_tolerance = sim_options.work_tolerance;
+        audit_options.uplink_channels = sim_options.uplink_channels;
+        check::audit_sim_result(sim_result, site.platform, options.w_total, audit_options)
+            .throw_if_failed();
+      }
+
+      const obs::RunMetrics& m = sim_result.metrics;
+      CellStats& cell = partial.cells[a];
+      cell.uplink_utilization.add(m.engine.uplink_utilization);
+      cell.worker_utilization.add(m.engine.mean_worker_utilization);
+      cell.events.add(static_cast<double>(m.des.events_executed));
+      cell.hol_blocking_time.add(m.engine.hol_blocking_time);
+      cell.work_redispatched.add(m.engine.work_redispatched);
+    }
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      CellStats& cell = partial.cells[a];
+      cell.makespan.add(makespans[a]);
+      cell.makespan_quantiles.add(makespans[a]);
+      ++cell.reps;
+      if (makespans[0] < makespans[a]) ++cell.ref_wins;
+      if (makespans[0] * 1.10 <= makespans[a]) ++cell.ref_wins_by_10pct;
+    }
+  }
+  return partial;
 }
 
 }  // namespace
+
+void run_sweep_streaming(const std::vector<SweepPlatform>& platforms,
+                         const std::vector<AlgorithmSpec>& algorithms,
+                         const SweepOptions& options, const CellConsumer& consumer) {
+  std::vector<std::string> problems = options.validate();
+  if (platforms.empty()) problems.emplace_back("platforms axis is empty — nothing to sweep");
+  if (algorithms.empty()) problems.emplace_back("at least one algorithm is required");
+  if (!consumer) problems.emplace_back("a cell consumer is required");
+  if (!problems.empty()) throw_invalid("invalid sweep request:", problems);
+
+  const std::size_t rep_block = resolve_rep_block(options.repetitions, options.rep_block);
+  const std::size_t blocks = (options.repetitions + rep_block - 1) / rep_block;
+  const std::size_t num_errors = options.errors.size();
+
+  run_sharded<ClosedPartial>(
+      platforms.size() * num_errors, blocks, options.threads,
+      [&](std::size_t site, std::size_t block) {
+        const std::size_t rep_begin = block * rep_block;
+        const std::size_t rep_end = std::min(options.repetitions, rep_begin + rep_block);
+        return run_closed_shard(platforms[site / num_errors], options.errors[site % num_errors],
+                                rep_begin, rep_end, algorithms, options);
+      },
+      [&](std::size_t site, ClosedPartial&& merged) {
+        const std::size_t platform_idx = site / num_errors;
+        const std::size_t error_idx = site % num_errors;
+        for (std::size_t a = 0; a < algorithms.size(); ++a) {
+          SweepCell cell;
+          cell.platform_index = platform_idx;
+          cell.error_index = error_idx;
+          cell.algorithm_index = a;
+          cell.platform_label = platforms[platform_idx].label;
+          cell.algorithm = algorithms[a].name;
+          cell.error = options.errors[error_idx];
+          cell.stats = std::move(merged.cells[a]);
+          consumer(cell);
+        }
+      });
+}
 
 SweepResult::SweepResult(std::vector<PlatformConfig> configs, std::vector<double> errors,
                          std::vector<std::string> algorithms)
@@ -133,9 +341,7 @@ SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
                       const std::vector<AlgorithmSpec>& algorithms, const SweepOptions& options) {
   if (algorithms.empty()) throw std::invalid_argument("run_sweep needs at least one algorithm");
   if (const std::vector<std::string> problems = options.validate(); !problems.empty()) {
-    std::string joined = "invalid SweepOptions:";
-    for (const std::string& p : problems) joined += "\n  - " + p;
-    throw std::invalid_argument(joined);
+    throw_invalid("invalid SweepOptions:", problems);
   }
 
   std::vector<std::string> names;
@@ -143,56 +349,168 @@ SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
   for (const AlgorithmSpec& spec : algorithms) names.push_back(spec.name);
   SweepResult result(configs, options.errors, std::move(names));
 
-  // One task per (configuration, error level); each task owns its cells, so
-  // no synchronization is needed on the result.
-  const std::size_t tasks = configs.size() * options.errors.size();
-  parallel_for(
-      tasks,
-      [&](std::size_t task) {
-        const std::size_t config_idx = task / options.errors.size();
-        const std::size_t error_idx = task % options.errors.size();
-        const PlatformConfig& config = result.configs()[config_idx];
-        const double error = options.errors[error_idx];
-        const platform::StarPlatform platform = config.to_platform();
-
-        std::vector<double> makespans(algorithms.size());
-        for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
-          const std::uint64_t seed = derive_seed(options.base_seed, config, error, rep);
-          for (std::size_t a = 0; a < algorithms.size(); ++a) {
-            const auto policy = algorithms[a].make(platform, options.w_total, error);
-            const sim::SimOptions sim_options =
-                make_sim_options(error, seed, options.distribution, options.faults,
-                                 options.fault_tolerance);
-            const sim::SimResult sim_result = simulate(platform, *policy, sim_options);
-            makespans[a] = sim_result.makespan;
-
-            if (options.audit_runs) {
-              check::TraceAuditOptions audit_options;
-              audit_options.work_tolerance = sim_options.work_tolerance;
-              audit_options.uplink_channels = sim_options.uplink_channels;
-              check::audit_sim_result(sim_result, platform, options.w_total, audit_options)
-                  .throw_if_failed();
-            }
-
-            const obs::RunMetrics& m = sim_result.metrics;
-            CellStats& cell = result.cell(config_idx, error_idx, a);
-            cell.uplink_utilization.add(m.engine.uplink_utilization);
-            cell.worker_utilization.add(m.engine.mean_worker_utilization);
-            cell.events.add(static_cast<double>(m.des.events_executed));
-            cell.hol_blocking_time.add(m.engine.hol_blocking_time);
-            cell.work_redispatched.add(m.engine.work_redispatched);
-          }
-          for (std::size_t a = 0; a < algorithms.size(); ++a) {
-            CellStats& cell = result.cell(config_idx, error_idx, a);
-            cell.makespan.add(makespans[a]);
-            ++cell.reps;
-            if (makespans[0] < makespans[a]) ++cell.ref_wins;
-            if (makespans[0] * 1.10 <= makespans[a]) ++cell.ref_wins_by_10pct;
-          }
-        }
-      },
-      options.threads);
+  // Thin buffering wrapper: the streaming engine serializes consumer calls,
+  // and every cell has its own slot, so plain assignment is race-free.
+  run_sweep_streaming(wrap_grid(configs), algorithms, options, [&result](const SweepCell& cell) {
+    result.cell(cell.platform_index, cell.error_index, cell.algorithm_index) = cell.stats;
+  });
   return result;
+}
+
+// --- open-system sweeps ------------------------------------------------------
+
+std::vector<std::string> JobsSweepOptions::validate() const {
+  std::vector<std::string> problems;
+  if (loads.empty()) problems.emplace_back("loads axis is empty — nothing to sweep");
+  for (double l : loads) {
+    if (!std::isfinite(l) || !(l > 0.0)) {
+      problems.emplace_back("loads axis contains a non-positive or non-finite load");
+      break;
+    }
+  }
+  if (repetitions == 0) problems.emplace_back("repetitions must be >= 1");
+  if (base.stream.kind != jobs::ArrivalKind::kPoisson) {
+    problems.emplace_back(
+        "base.stream must be a Poisson stream — the load axis maps to arrival rates");
+  } else {
+    // The engine overwrites arrival_rate per (platform, load); validate the
+    // rest of the template with a placeholder rate so an unset rate is not a
+    // spurious complaint.
+    jobs::JobsOptions probe = base;
+    probe.stream.arrival_rate = 1.0;
+    for (std::string& p : probe.validate()) problems.push_back(std::move(p));
+  }
+  return problems;
+}
+
+namespace {
+
+JobsCellStats run_jobs_shard(const SweepPlatform& site, double load, std::size_t rep_begin,
+                             std::size_t rep_end, const JobsSweepOptions& options) {
+  JobsCellStats cell;
+  for (std::size_t rep = rep_begin; rep < rep_end; ++rep) {
+    jobs::JobsOptions run_options = options.base;
+    run_options.stream.arrival_rate = jobs::JobStreamSpec::rate_for_load(
+        site.platform, load, run_options.stream.mean_size);
+    run_options.sim.seed = derive_rep_seed(options.base_seed, site.label, load, rep);
+    const jobs::ServiceResult run = jobs::run_jobs(site.platform, run_options);
+    if (options.audit_runs) {
+      check::audit_service_result(run, site.platform, run_options).throw_if_failed();
+    }
+    cell.arrived += run.arrived;
+    cell.admitted += run.admitted;
+    cell.rejected += run.rejected;
+    cell.shed += run.shed;
+    cell.completed += run.completed;
+    cell.manager_events += run.manager_events;
+    cell.oracle_runs += run.oracle_runs;
+    cell.oracle_events += run.oracle_events;
+    cell.mean_response.add(run.mean_response());
+    cell.mean_slowdown.add(run.mean_slowdown());
+    cell.utilization.add(run.utilization);
+    cell.share_utilization.add(run.share_utilization);
+    cell.horizon.add(run.horizon);
+    cell.response_times.merge(run.stats.response_times);
+    cell.slowdowns.merge(run.stats.slowdowns);
+    cell.queue_waits.merge(run.stats.queue_waits);
+    cell.job_sizes.merge(run.stats.job_sizes);
+    ++cell.reps;
+  }
+  return cell;
+}
+
+}  // namespace
+
+void run_jobs_sweep(const std::vector<SweepPlatform>& platforms,
+                    const JobsSweepOptions& options, const JobsCellConsumer& consumer) {
+  std::vector<std::string> problems = options.validate();
+  if (platforms.empty()) problems.emplace_back("platforms axis is empty — nothing to sweep");
+  if (!consumer) problems.emplace_back("a cell consumer is required");
+  if (!problems.empty()) throw_invalid("invalid jobs-sweep request:", problems);
+
+  const std::size_t rep_block = resolve_rep_block(options.repetitions, options.rep_block);
+  const std::size_t blocks = (options.repetitions + rep_block - 1) / rep_block;
+  const std::size_t num_loads = options.loads.size();
+
+  run_sharded<JobsCellStats>(
+      platforms.size() * num_loads, blocks, options.threads,
+      [&](std::size_t site, std::size_t block) {
+        const std::size_t rep_begin = block * rep_block;
+        const std::size_t rep_end = std::min(options.repetitions, rep_begin + rep_block);
+        return run_jobs_shard(platforms[site / num_loads], options.loads[site % num_loads],
+                              rep_begin, rep_end, options);
+      },
+      [&](std::size_t site, JobsCellStats&& merged) {
+        JobsSweepCell cell;
+        cell.platform_index = site / num_loads;
+        cell.load_index = site % num_loads;
+        cell.platform_label = platforms[cell.platform_index].label;
+        cell.load = options.loads[cell.load_index];
+        cell.stats = std::move(merged);
+        consumer(cell);
+      });
+}
+
+// --- merge-consistency audits ------------------------------------------------
+
+namespace {
+
+void audit_exact(const std::string& label, const char* what, std::uint64_t merged,
+                 std::uint64_t serial, check::AuditReport& report) {
+  if (merged != serial) {
+    report.violations.push_back(label + ": " + what + " merged=" + std::to_string(merged) +
+                                " serial=" + std::to_string(serial));
+  }
+}
+
+}  // namespace
+
+void audit_cell_merge(const std::string& label, const CellStats& merged,
+                      const CellStats& serial, check::AuditReport& report) {
+  check::audit_accumulator_merge(label + ".makespan", merged.makespan, serial.makespan, report);
+  check::audit_accumulator_merge(label + ".uplink_utilization", merged.uplink_utilization,
+                                 serial.uplink_utilization, report);
+  check::audit_accumulator_merge(label + ".worker_utilization", merged.worker_utilization,
+                                 serial.worker_utilization, report);
+  check::audit_accumulator_merge(label + ".events", merged.events, serial.events, report);
+  check::audit_accumulator_merge(label + ".hol_blocking_time", merged.hol_blocking_time,
+                                 serial.hol_blocking_time, report);
+  check::audit_accumulator_merge(label + ".work_redispatched", merged.work_redispatched,
+                                 serial.work_redispatched, report);
+  check::audit_sketch_merge(label + ".makespan_quantiles", merged.makespan_quantiles,
+                            serial.makespan_quantiles, report);
+  audit_exact(label, "reps", merged.reps, serial.reps, report);
+  audit_exact(label, "ref_wins", merged.ref_wins, serial.ref_wins, report);
+  audit_exact(label, "ref_wins_by_10pct", merged.ref_wins_by_10pct, serial.ref_wins_by_10pct,
+              report);
+}
+
+void audit_cell_merge(const std::string& label, const JobsCellStats& merged,
+                      const JobsCellStats& serial, check::AuditReport& report) {
+  audit_exact(label, "arrived", merged.arrived, serial.arrived, report);
+  audit_exact(label, "admitted", merged.admitted, serial.admitted, report);
+  audit_exact(label, "rejected", merged.rejected, serial.rejected, report);
+  audit_exact(label, "shed", merged.shed, serial.shed, report);
+  audit_exact(label, "completed", merged.completed, serial.completed, report);
+  audit_exact(label, "manager_events", merged.manager_events, serial.manager_events, report);
+  audit_exact(label, "oracle_runs", merged.oracle_runs, serial.oracle_runs, report);
+  audit_exact(label, "oracle_events", merged.oracle_events, serial.oracle_events, report);
+  audit_exact(label, "reps", merged.reps, serial.reps, report);
+  check::audit_accumulator_merge(label + ".mean_response", merged.mean_response,
+                                 serial.mean_response, report);
+  check::audit_accumulator_merge(label + ".mean_slowdown", merged.mean_slowdown,
+                                 serial.mean_slowdown, report);
+  check::audit_accumulator_merge(label + ".utilization", merged.utilization, serial.utilization,
+                                 report);
+  check::audit_accumulator_merge(label + ".share_utilization", merged.share_utilization,
+                                 serial.share_utilization, report);
+  check::audit_accumulator_merge(label + ".horizon", merged.horizon, serial.horizon, report);
+  check::audit_histogram_merge(label + ".response_times", merged.response_times,
+                               serial.response_times, report);
+  check::audit_histogram_merge(label + ".slowdowns", merged.slowdowns, serial.slowdowns, report);
+  check::audit_histogram_merge(label + ".queue_waits", merged.queue_waits, serial.queue_waits,
+                               report);
+  check::audit_histogram_merge(label + ".job_sizes", merged.job_sizes, serial.job_sizes, report);
 }
 
 double run_once(const PlatformConfig& config, const AlgorithmSpec& spec, double error,

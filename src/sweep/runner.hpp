@@ -1,15 +1,45 @@
 #pragma once
 
 /// \file runner.hpp
-/// Parallel experiment runner: (configurations x error levels x repetitions x
-/// algorithms), with deterministic per-repetition seeding so results do not
-/// depend on thread count or execution order.
+/// Sharded map-reduce sweep engine.
+///
+/// A sweep is a grid of *cells* — (platform, axis value, algorithm) — each
+/// summarizing many repetitions. The engine decomposes every (platform,
+/// axis value) site into rep-block *shards*, runs the shards across
+/// parallel_for's guided dynamic scheduler, folds each shard's runs into
+/// mergeable accumulators (O(1) memory per shard), and reduces a site's
+/// shard partials **in fixed shard-index order** the moment its last shard
+/// lands. Completed cells stream out through a consumer callback; nothing
+/// buffers the whole grid unless the caller asks for it.
+///
+/// Determinism contract (tested by sharded-vs-serial byte-identity tests and
+/// audited at 1e-9 by audit_cell_merge):
+///
+///   - the shard decomposition is a pure function of (grid shape,
+///     repetitions, rep_block) — never of the thread count;
+///   - every repetition's seed is derived as
+///       mix_seed(base_seed ^ fnv1a(platform label), round(axis*1000), rep)
+///     (stats::mix_seed — the same scheme the facade's execute_all uses for
+///     per-rep lanes), shared by all algorithms within the rep so paired
+///     win-rate comparisons stay paired;
+///   - shard partials merge in shard-index order, so the reduced cell is
+///     byte-identical for any thread count or shard completion order (FP
+///     addition is not associative; a fixed merge tree removes the only
+///     source of divergence).
+///
+/// Emission order across *sites* is unspecified (sites complete when their
+/// last shard does); the consumer is called under an internal mutex, so it
+/// needs no synchronization of its own.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "check/des_audit.hpp"
 #include "faults/fault_model.hpp"
+#include "jobs/job_manager.hpp"
+#include "obs/accumulators.hpp"
 #include "sim/master_worker.hpp"
 #include "stats/error_model.hpp"
 #include "stats/summary.hpp"
@@ -36,6 +66,11 @@ struct SweepOptions {
   /// plus the observability identities). Cheap — no trace is recorded — and
   /// a violation aborts the sweep with check::CheckError.
   bool audit_runs = true;
+  /// Repetitions per shard. 0 = auto: ceil(repetitions / 8), so every site
+  /// splits into up to 8 shards *regardless of thread count* (the shard
+  /// structure must be thread-independent for byte-identity to hold).
+  /// Clamped to [1, repetitions].
+  std::size_t rep_block = 0;
 
   /// Validates every option in one pass and returns the full list of
   /// human-readable problems (empty means the options are usable).
@@ -44,9 +79,10 @@ struct SweepOptions {
   [[nodiscard]] std::vector<std::string> validate() const;
 };
 
-/// Aggregated results for one (configuration, error, algorithm) cell. The
-/// metric accumulators summarize the per-run observability records
-/// (mean/stddev over the cell's repetitions).
+/// Aggregated results for one (platform, error, algorithm) cell. Every field
+/// is a mergeable accumulator (integer sums, Welford moments, a quantile
+/// sketch), so shard partials combine with merge() and the whole struct
+/// stays O(1) in the repetition count.
 struct CellStats {
   stats::Accumulator makespan;      ///< Over repetitions.
   std::size_t reps = 0;
@@ -60,7 +96,31 @@ struct CellStats {
   stats::Accumulator events;               ///< DES events executed per run.
   stats::Accumulator hol_blocking_time;    ///< Head-of-line blocking seconds.
   stats::Accumulator work_redispatched;    ///< Fault-layer re-sent units.
+
+  /// Streaming makespan distribution (median/p95 without storing the reps).
+  /// Comb spans ~1e-2..2.7e3 at 5% relative resolution.
+  obs::QuantileSketch makespan_quantiles{1e-2, 1.05, 256};
+
+  /// Folds `other` (a later shard of the same cell) into this one.
+  void merge(const CellStats& other);
 };
+
+/// One completed cell, streamed to the consumer as soon as its site's last
+/// shard lands. Indices address the caller's platforms/errors/algorithms
+/// vectors; label/error/algorithm are carried so consumers need no lookup.
+struct SweepCell {
+  std::size_t platform_index = 0;
+  std::size_t error_index = 0;
+  std::size_t algorithm_index = 0;
+  std::string platform_label;
+  std::string algorithm;
+  double error = 0.0;
+  CellStats stats;
+};
+
+/// Cell sink. Called under the engine's emission mutex: invocations are
+/// serialized, but their order across sites is unspecified.
+using CellConsumer = std::function<void(const SweepCell&)>;
 
 /// Full sweep output. Cells are indexed [config][error][algorithm].
 class SweepResult {
@@ -105,12 +165,117 @@ class SweepResult {
   std::vector<CellStats> cells_;
 };
 
-/// Runs the sweep: every algorithm in `algorithms` (index 0 is the
-/// reference, normally RUMR) on every configuration, error level, and
-/// repetition. A repetition uses the same derived seed for every algorithm.
+/// The streaming engine: shards every (platform, error) site, runs the grid
+/// across the pool, and emits each completed cell through `consumer`. Peak
+/// memory is O(sites in flight x shards per site), never O(grid x reps).
+///
+/// Algorithm index 0 is the reference for the paired win counters. Throws
+/// std::invalid_argument on validation failure and propagates the first
+/// in-shard exception (e.g. check::CheckError from a failed audit).
+void run_sweep_streaming(const std::vector<SweepPlatform>& platforms,
+                         const std::vector<AlgorithmSpec>& algorithms,
+                         const SweepOptions& options, const CellConsumer& consumer);
+
+/// Buffering wrapper over run_sweep_streaming for Table 1 grids: collects
+/// every streamed cell into a SweepResult. Prefer the rumr::Sweep facade
+/// builder (api/rumr.hpp) in new code; this remains for the bench harnesses
+/// and as the compatibility surface.
 [[nodiscard]] SweepResult run_sweep(const std::vector<PlatformConfig>& configs,
                                     const std::vector<AlgorithmSpec>& algorithms,
                                     const SweepOptions& options);
+
+/// The per-repetition seed the engine derives — exposed so tests and tools
+/// can reproduce any single run of a sweep in isolation:
+///   mix_seed(base_seed ^ fnv1a(platform_label), llround(axis_value*1000), rep).
+[[nodiscard]] std::uint64_t derive_rep_seed(std::uint64_t base_seed,
+                                            const std::string& platform_label,
+                                            double axis_value, std::size_t rep) noexcept;
+
+/// Shards each (platform, axis value) site splits into for a given
+/// repetitions/rep_block setting (rep_block 0 = auto: ceil(reps / 8)). A pure
+/// function of its arguments — never of the thread count — exposed so the
+/// facade's validate() and the tests can reason about shard counts.
+[[nodiscard]] std::size_t shards_per_site(std::size_t reps, std::size_t rep_block) noexcept;
+
+// --- open-system (multi-job) sweeps ----------------------------------------
+
+/// Mergeable aggregate for one (platform, load) cell of an open-system
+/// sweep: integer ledger sums, per-repetition scalar moments, and the
+/// per-job service histograms merged across repetitions (every run uses the
+/// same fixed bucket edges, so the merge is exact on the counts).
+struct JobsCellStats {
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t manager_events = 0;
+  std::uint64_t oracle_runs = 0;
+  std::uint64_t oracle_events = 0;
+  std::size_t reps = 0;
+
+  stats::Accumulator mean_response;       ///< Per-rep mean response times.
+  stats::Accumulator mean_slowdown;       ///< Per-rep mean slowdowns.
+  stats::Accumulator utilization;         ///< Per-rep goodput fractions.
+  stats::Accumulator share_utilization;   ///< Per-rep allocated fractions.
+  stats::Accumulator horizon;             ///< Per-rep drain times.
+
+  obs::Histogram response_times;  ///< Per-job, merged across reps.
+  obs::Histogram slowdowns;       ///< Per-job, merged across reps.
+  obs::Histogram queue_waits;     ///< Per-job, merged across reps.
+  obs::Histogram job_sizes;       ///< Per-job, merged across reps.
+
+  void merge(const JobsCellStats& other);
+};
+
+/// Open-system sweep configuration: a load axis over a jobs::JobsOptions
+/// template. Each cell re-resolves base.stream.arrival_rate for its
+/// (platform, load) via JobStreamSpec::rate_for_load and re-seeds base.sim
+/// per repetition with derive_rep_seed.
+struct JobsSweepOptions {
+  std::vector<double> loads = load_axis();  ///< Offered-load fractions.
+  std::size_t repetitions = 3;
+  std::size_t threads = 0;                  ///< 0 = hardware concurrency.
+  std::uint64_t base_seed = 0x5eed5eed5eedULL;
+  /// Template for every run. stream must be Poisson (the load axis maps to
+  /// an arrival rate); set base.retain_jobs = false for large grids so each
+  /// run streams its jobs instead of buffering them.
+  jobs::JobsOptions base{};
+  /// Audit every repetition with check::audit_service_result.
+  bool audit_runs = true;
+  /// Repetitions per shard; 0 = auto (ceil(repetitions / 8)), as above.
+  std::size_t rep_block = 0;
+
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// One completed open-system cell.
+struct JobsSweepCell {
+  std::size_t platform_index = 0;
+  std::size_t load_index = 0;
+  std::string platform_label;
+  double load = 0.0;
+  JobsCellStats stats;
+};
+
+using JobsCellConsumer = std::function<void(const JobsSweepCell&)>;
+
+/// Streaming open-system sweep: platforms x loads, sharded and merged
+/// exactly like run_sweep_streaming. With base.retain_jobs == false, peak
+/// memory per shard is O(jobs concurrently in the system), so million-job
+/// grids run in constant space.
+void run_jobs_sweep(const std::vector<SweepPlatform>& platforms,
+                    const JobsSweepOptions& options, const JobsCellConsumer& consumer);
+
+// --- merge-consistency audits ----------------------------------------------
+
+/// Appends a violation to `report` for every field of `merged` that strays
+/// from `serial` (counts exact, floats at 1e-9) — the sharded-vs-serial
+/// consistency check, assembled from check/merge_audit.hpp primitives.
+void audit_cell_merge(const std::string& label, const CellStats& merged,
+                      const CellStats& serial, check::AuditReport& report);
+void audit_cell_merge(const std::string& label, const JobsCellStats& merged,
+                      const JobsCellStats& serial, check::AuditReport& report);
 
 /// Single-run convenience used by benches and examples: simulates `spec` once
 /// and returns the makespan.

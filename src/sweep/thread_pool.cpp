@@ -1,5 +1,6 @@
 #include "sweep/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <utility>
@@ -24,19 +25,36 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  // Guided dynamic chunk claiming. Each claim takes a block proportional to
+  // the *unclaimed* remainder (remaining / 2·workers, capped), so early
+  // claims amortize the shared counter while late claims shrink toward
+  // single indices: a skewed task near the end (one slow high-MTBF fault
+  // cell, say) can strand at most its own chunk behind it, and idle workers
+  // drain the tail index by index instead of waiting on a static share.
+  constexpr std::size_t kMaxChunk = 64;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t t = 0; t < workers; ++t) {
     pool.emplace_back([&] {
+      std::size_t begin = next.load(std::memory_order_relaxed);
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+        if (begin >= count) return;
+        const std::size_t remaining = count - begin;
+        const std::size_t guided = remaining / (2 * workers);
+        const std::size_t chunk = std::min({kMaxChunk, std::max<std::size_t>(1, guided), remaining});
+        if (!next.compare_exchange_weak(begin, begin + chunk, std::memory_order_relaxed)) {
+          continue;  // Lost the race; `begin` was reloaded, re-derive the chunk.
         }
+        const std::size_t end = begin + chunk;
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            fn(i);
+          } catch (...) {
+            const std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+        begin = next.load(std::memory_order_relaxed);
       }
     });
   }

@@ -1,9 +1,9 @@
 #pragma once
 
 /// \file thread_pool.hpp
-/// Minimal work-queue thread pool plus a static-scheduling parallel_for.
-/// Sweep tasks are fully independent and internally seeded, so results are
-/// identical regardless of the thread count or interleaving.
+/// Minimal work-queue thread pool plus a guided dynamic-chunking
+/// parallel_for. Sweep tasks are fully independent and internally seeded, so
+/// results are identical regardless of the thread count or interleaving.
 
 #include <condition_variable>
 #include <cstddef>
@@ -22,6 +22,11 @@ namespace rumr::sweep {
 /// Runs fn(0), fn(1), ..., fn(count - 1) across `threads` workers (0 = auto).
 /// Blocks until every index has been processed. Exceptions from fn propagate
 /// (the first one captured is rethrown after all workers join).
+///
+/// Scheduling is guided dynamic chunking: workers claim blocks sized to the
+/// unclaimed remainder (shrinking toward single indices near the end), so a
+/// skewed task cannot idle the pool tail the way a static split would, and
+/// the shared claim counter is touched far less often than once per index.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "api/rumr.hpp"
@@ -243,6 +245,140 @@ TEST(JobsRunFacade, FromFileLoadsTheJobsSchema) {
   const jobs::ServiceResult result = run.execute();
   EXPECT_EQ(result.completed, 8u);
   std::remove(path.c_str());
+}
+
+// --- rumr::Sweep -------------------------------------------------------------
+
+/// True when some problem string mentions `needle`.
+bool mentions(const std::vector<std::string>& problems, const std::string& needle) {
+  for (const std::string& p : problems) {
+    if (p.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(SweepFacade, ValidateListsEveryProblemIncludingCrossFieldConflicts) {
+  rumr::Sweep sweep;  // No platforms yet.
+  sweep.policies(std::vector<std::string>{"rumr", "not-a-policy"})
+      .reps(2)
+      .rep_block(5)     // Larger than reps: shards cannot exceed a cell.
+      .threads(64)      // Far more threads than shards.
+      .buffer(false);   // ...and no on_cell consumer.
+  const std::vector<std::string> problems = sweep.validate();
+  EXPECT_TRUE(mentions(problems, "platform axis is empty")) << problems.size();
+  EXPECT_TRUE(mentions(problems, "not-a-policy"));
+  EXPECT_TRUE(mentions(problems, "buffering is disabled"));
+  EXPECT_TRUE(mentions(problems, "shards cannot be larger"));
+}
+
+TEST(SweepFacade, ValidateFlagsWrongModeConsumerAndIdleThreads) {
+  rumr::Sweep sweep;
+  sweep.platforms(std::vector<sweep::PlatformConfig>{{10, 1.5, 0.1, 0.05}})
+      .errors({0.2})
+      .reps(2)
+      .rep_block(2)  // One shard total, so 8 threads would mostly idle.
+      .threads(8)
+      .on_cell(sweep::JobsCellConsumer([](const sweep::JobsSweepCell&) {}));
+  const std::vector<std::string> problems = sweep.validate();
+  EXPECT_TRUE(mentions(problems, "open-system on_cell consumer"));
+  EXPECT_TRUE(mentions(problems, "threads"));
+}
+
+TEST(SweepFacade, ExecuteRejectsTheWrongMode) {
+  rumr::Sweep closed;
+  closed.platforms(std::vector<sweep::PlatformConfig>{{10, 1.5, 0.1, 0.05}});
+  EXPECT_THROW((void)closed.execute_jobs(), std::invalid_argument);
+
+  rumr::Sweep open;
+  jobs::JobsOptions base;
+  base.stream = jobs::JobStreamSpec::poisson(1.0, 4, 100.0);
+  open.platforms(std::vector<sweep::PlatformConfig>{{10, 1.5, 0.1, 0.05}}).jobs(base);
+  EXPECT_THROW((void)open.execute(), std::invalid_argument);
+}
+
+TEST(SweepFacade, BufferedCellsArriveSortedAndStreamToTheConsumerToo) {
+  std::size_t streamed = 0;
+  rumr::Sweep sweep;
+  const std::vector<sweep::SweepCell> cells =
+      sweep.platforms(std::vector<sweep::PlatformConfig>{{10, 1.5, 0.1, 0.05}, {4, 2.0, 0.3, 0.1}})
+          .errors({0.0, 0.3})
+          .policies(std::vector<std::string>{"rumr", "umr"})
+          .workload(150.0)
+          .reps(3)
+          .threads(2)
+          .on_cell(sweep::CellConsumer([&](const sweep::SweepCell&) { ++streamed; }))
+          .execute();
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u);
+  EXPECT_EQ(streamed, cells.size());
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    const auto key = [](const sweep::SweepCell& c) {
+      return std::tuple{c.platform_index, c.error_index, c.algorithm_index};
+    };
+    EXPECT_LT(key(cells[i - 1]), key(cells[i]));
+  }
+  for (const sweep::SweepCell& cell : cells) {
+    EXPECT_EQ(cell.stats.reps, 3u);
+    EXPECT_GT(cell.stats.makespan.mean(), 0.0);
+  }
+}
+
+TEST(SweepFacade, OpenSystemModeSweepsTheLoadAxis) {
+  jobs::JobsOptions base;
+  base.stream = jobs::JobStreamSpec::poisson(1.0, 5, 100.0);
+  base.known_error = 0.1;
+  base.sim = sim::SimOptions::with_error(0.1, 3);
+  base.retain_jobs = false;  // Streaming mode end-to-end through the facade.
+
+  rumr::Sweep sweep;
+  const std::vector<sweep::JobsSweepCell> cells =
+      sweep.platforms(std::vector<sweep::PlatformConfig>{{10, 1.5, 0.1, 0.05}})
+          .jobs(base)
+          .loads({0.4, 0.7})
+          .reps(2)
+          .threads(2)
+          .execute_jobs();
+  ASSERT_EQ(cells.size(), 2u);
+  for (const sweep::JobsSweepCell& cell : cells) {
+    EXPECT_EQ(cell.stats.reps, 2u);
+    EXPECT_EQ(cell.stats.completed, cell.stats.admitted);
+    EXPECT_GT(cell.stats.horizon.mean(), 0.0);
+  }
+}
+
+TEST(SweepFacade, MatchesTheRawEngineByteForByte) {
+  // The facade is a description builder, not a second engine: its cells must
+  // be bitwise-identical to run_sweep_streaming with the same description.
+  const std::vector<sweep::PlatformConfig> configs = {{10, 1.5, 0.1, 0.05}};
+  rumr::Sweep sweep;
+  const std::vector<sweep::SweepCell> via_facade =
+      sweep.platforms(configs)
+          .errors({0.2})
+          .policies(std::vector<std::string>{"rumr", "factoring"})
+          .workload(200.0)
+          .reps(4)
+          .seed(77)
+          .execute();
+
+  sweep::SweepOptions options;
+  options.errors = {0.2};
+  options.repetitions = 4;
+  options.w_total = 200.0;
+  options.base_seed = 77;
+  std::vector<sweep::SweepCell> raw;
+  sweep::run_sweep_streaming(
+      sweep::wrap_grid(configs),
+      {sweep::rumr_spec(), sweep::factoring_spec()}, options,
+      [&](const sweep::SweepCell& cell) { raw.push_back(cell); });
+  std::sort(raw.begin(), raw.end(), [](const sweep::SweepCell& a, const sweep::SweepCell& b) {
+    return a.algorithm_index < b.algorithm_index;
+  });
+
+  ASSERT_EQ(via_facade.size(), raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(via_facade[i].stats.makespan.mean(), raw[i].stats.makespan.mean());
+    EXPECT_EQ(via_facade[i].stats.makespan.variance(), raw[i].stats.makespan.variance());
+    EXPECT_EQ(via_facade[i].stats.ref_wins, raw[i].stats.ref_wins);
+  }
 }
 
 }  // namespace

@@ -1,27 +1,22 @@
 /// \file jobs_demo.cpp
 /// Mean slowdown vs offered load: exclusive vs partitioned vs fractional.
 ///
-/// Sweeps the open-system load axis on one Table 1-style platform and prints
-/// the mean job slowdown of each platform-sharing policy, with transient
-/// worker outages injected into every inner service run. Every run is audited
-/// by check::audit_service_result (counter ledger, per-job work conservation,
+/// Sweeps the open-system load axis on one Table 1-style platform through the
+/// rumr::Sweep facade and prints the mean job slowdown of each
+/// platform-sharing policy, with transient worker outages injected into every
+/// inner service run. Every repetition is audited by
+/// check::audit_service_result (counter ledger, per-job work conservation,
 /// share disjointness, Little's law), so this doubles as an end-to-end gate
 /// for the multi-job subsystem — the exit code is nonzero when any run fails
 /// its audit or strands jobs.
 
-#include <cstdint>
+#include <cstddef>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
-#include "check/service_audit.hpp"
-#include "faults/fault_model.hpp"
-#include "jobs/job_manager.hpp"
-#include "jobs/job_stream.hpp"
-#include "report/table.hpp"
-#include "sim/master_worker.hpp"
-#include "stats/rng.hpp"
-#include "sweep/grid.hpp"
+#include "api/rumr.hpp"
 
 namespace {
 
@@ -36,7 +31,6 @@ int main() {
   using namespace rumr;
 
   const sweep::PlatformConfig config{10, 1.6, 0.3, 0.3};
-  const platform::StarPlatform platform = config.to_platform();
 
   const std::vector<double> loads = sweep::load_axis(0.3, 0.9, 0.2);
   const std::vector<jobs::SharingPolicy> policies = {
@@ -50,50 +44,55 @@ int main() {
   }());
 
   bool all_ok = true;
-  for (const double load : loads) {
-    std::vector<double> slowdowns;
-    for (const jobs::SharingPolicy policy : policies) {
-      jobs::JobsOptions options;
-      options.sharing = policy;
-      options.partitions = 2;
-      options.stream = jobs::JobStreamSpec::poisson(
-          jobs::JobStreamSpec::rate_for_load(platform, load, kMeanSize), kJobs, kMeanSize);
-      options.stream.size_dist = jobs::SizeDistribution::kUniform;
-      options.stream.size_spread = 0.4;
-      options.known_error = kError;
-      options.sim = sim::SimOptions::with_error(
-          kError, stats::mix_seed(0x10B5ULL, static_cast<std::uint64_t>(load * 100.0),
-                                  static_cast<std::uint64_t>(policy)));
-      // Repairable outages with MTTR = MTBF/10: availability ~ 91%.
-      options.sim.faults = faults::FaultSpec::transient(kMtbf, kMtbf / 10.0);
+  // load index -> slowdown per policy, collected across the per-policy sweeps.
+  std::map<std::size_t, std::vector<double>> rows;
+  for (const jobs::SharingPolicy policy : policies) {
+    jobs::JobsOptions base;
+    base.sharing = policy;
+    base.partitions = 2;
+    base.stream = jobs::JobStreamSpec::poisson(1.0, kJobs, kMeanSize);
+    base.stream.size_dist = jobs::SizeDistribution::kUniform;
+    base.stream.size_spread = 0.4;
+    base.known_error = kError;
+    base.sim = sim::SimOptions::with_error(kError, 1);
+    // Repairable outages with MTTR = MTBF/10: availability ~ 91%.
+    base.sim.faults = faults::FaultSpec::transient(kMtbf, kMtbf / 10.0);
 
-      try {
-        const jobs::ServiceResult result = jobs::run_jobs(platform, options);
-        const check::AuditReport audit = check::audit_service_result(result, platform, options);
-        if (!audit.ok()) {
-          std::cerr << "AUDIT FAILED (" << to_string(policy) << ", load=" << load << "):\n"
-                    << audit.summary() << '\n';
+    try {
+      const std::vector<sweep::JobsSweepCell> cells =
+          Sweep()
+              .platforms(std::vector<sweep::PlatformConfig>{config})
+              .jobs(base)
+              .loads(loads)
+              .reps(1)
+              .seed(0x10B5ULL + static_cast<std::uint64_t>(policy))
+              .execute_jobs();
+      for (const sweep::JobsSweepCell& cell : cells) {
+        if (cell.stats.completed != cell.stats.admitted) {
+          std::cerr << "STRANDED JOBS (" << to_string(policy) << ", load=" << cell.load
+                    << "): admitted=" << cell.stats.admitted
+                    << " completed=" << cell.stats.completed << '\n';
           all_ok = false;
         }
-        if (result.completed != result.admitted) {
-          std::cerr << "STRANDED JOBS (" << to_string(policy) << ", load=" << load
-                    << "): admitted=" << result.admitted << " completed=" << result.completed
-                    << '\n';
-          all_ok = false;
-        }
-        slowdowns.push_back(result.mean_slowdown());
-      } catch (const sim::SimError& error) {
-        std::cerr << "SimError (" << to_string(policy) << ", load=" << load
-                  << "): " << error.what() << '\n';
-        all_ok = false;
-        slowdowns.push_back(0.0);
+        rows[cell.load_index].push_back(cell.stats.mean_slowdown.mean());
       }
+    } catch (const check::CheckError& error) {
+      std::cerr << "AUDIT FAILED (" << to_string(policy) << "): " << error.what() << '\n';
+      all_ok = false;
+      for (std::size_t i = 0; i < loads.size(); ++i) rows[i].push_back(0.0);
+    } catch (const sim::SimError& error) {
+      std::cerr << "SimError (" << to_string(policy) << "): " << error.what() << '\n';
+      all_ok = false;
+      for (std::size_t i = 0; i < loads.size(); ++i) rows[i].push_back(0.0);
     }
-    table.add_row(std::to_string(load).substr(0, 3), slowdowns, 2);
+  }
+
+  for (const auto& [load_index, slowdowns] : rows) {
+    table.add_row(std::to_string(loads[load_index]).substr(0, 3), slowdowns, 2);
   }
 
   std::cout << "Mean slowdown over " << kJobs << " Poisson jobs, mean size " << kMeanSize
-            << ", error=" << kError << ", N=" << platform.size()
+            << ", error=" << kError << ", N=" << config.n
             << ", transient faults MTBF=" << kMtbf << "\n\n";
   table.print(std::cout);
   std::cout << "\n(slowdowns grow with offered load; every run is service-audited)\n";
