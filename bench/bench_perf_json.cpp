@@ -11,7 +11,8 @@
 //     "engine_runs_per_sec":       ...,   // UMR runs under 30% error
 //     "engine_events_per_sec":     ...,   // DES events inside those runs
 //     "jobs_per_sec":              ...,   // open-system jobs served end to end
-//     "sweep_cells_per_sec":       ...    // sharded sweep grid cells completed
+//     "sweep_cells_per_sec":       ...,   // sharded sweep grid cells completed
+//     "race_sims_saved_ratio":     ...    // fixed-budget sims / raced sims
 //   }
 //
 // CI archives the file per commit; regression tooling diffs it. Numbers are
@@ -151,6 +152,24 @@ double sweep_cells_per_sec() {
   return static_cast<double>(cells) / seconds_since(start);
 }
 
+/// Racing economy: how many fixed-budget simulations one raced cell of the
+/// EXPERIMENTS.md demo grid replaces per simulation actually run. The race is
+/// seeded and single-valued, so unlike the wall-clock rates above this metric
+/// is exactly reproducible — any drift below baseline means the elimination
+/// rule got less decisive, not that the machine got slower.
+double race_sims_saved_ratio() {
+  race::RaceOptions options;
+  options.delta = 0.05;
+  options.block = 16;
+  options.max_reps = 2048;
+  options.w_total = 300.0;
+  options.threads = 0;
+  const race::RaceResult result =
+      race::race_cell(sweep::SweepPlatform::from_config({10, 1.5, 0.1, 0.05}),
+                      sweep::extended_competitors(), 0.3, options);
+  return result.sims_saved_ratio();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +180,7 @@ int main(int argc, char** argv) {
   const EngineRates engine = engine_rates();
   const double jobs_rate = jobs_per_sec();
   const double sweep_rate = sweep_cells_per_sec();
+  const double race_ratio = race_sims_saved_ratio();
 
   std::error_code ec;
   std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
@@ -175,7 +195,8 @@ int main(int argc, char** argv) {
       << "  \"engine_runs_per_sec\": " << engine.runs_per_sec << ",\n"
       << "  \"engine_events_per_sec\": " << engine.events_per_sec << ",\n"
       << "  \"jobs_per_sec\": " << jobs_rate << ",\n"
-      << "  \"sweep_cells_per_sec\": " << sweep_rate << "\n"
+      << "  \"sweep_cells_per_sec\": " << sweep_rate << ",\n"
+      << "  \"race_sims_saved_ratio\": " << race_ratio << "\n"
       << "}\n";
   out.close();
 
@@ -185,6 +206,7 @@ int main(int argc, char** argv) {
               engine.events_per_sec);
   std::printf("jobs      : %.3g jobs/s\n", jobs_rate);
   std::printf("sweep     : %.3g cells/s\n", sweep_rate);
+  std::printf("race      : %.3gx sims saved\n", race_ratio);
   std::printf("written to %s\n", path);
   return 0;
 }

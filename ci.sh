@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            all stages
 #   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | lint |
-#                      metrics | jobs | sweep | chaos | perf
+#                      metrics | jobs | sweep | race | chaos | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
@@ -32,6 +32,13 @@
 #               counts, rep_block merge-tree tolerance, exactly-once
 #               streaming, and open-system thread invariance; the demo exits
 #               nonzero on any violation
+#   race        best-arm racing demo (tools/race_demo) under the release and
+#               asan-ubsan presets: every cell of the raced grid must certify
+#               a single winner at delta = 0.05 with an audit-clean
+#               elimination ledger, match the fixed-repetition argmin over
+#               the same seed lanes, save >= 3x the simulations, and be
+#               byte-identical across thread counts; nonzero exit on any
+#               violation
 #   chaos       seeded fault-injection campaign (tools/chaos_campaign) under
 #               the release and asan-ubsan presets: the small grid sweeps
 #               message loss x bandwidth degradation x worker MTBF x workload
@@ -52,7 +59,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs sweep chaos perf}")
+STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs sweep race chaos perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -61,9 +68,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|chaos|perf) ;;
+    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|race|chaos|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | sweep | chaos | perf)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | sweep | race | chaos | perf)" >&2
       exit 2
       ;;
   esac
@@ -158,6 +165,21 @@ for stage in "${STAGES[@]}"; do
         "./build/$preset/tools/sweep_demo"
       done
       ;;
+    race)
+      # The demo exits nonzero when any raced cell fails to certify within
+      # budget, its elimination ledger fails check::audit_race_result, the
+      # raced winner disagrees with the fixed-repetition argmin, the
+      # simulations-saved ratio drops below 3x, or a thread count perturbs
+      # the result, so this gates the racing engine end to end through the
+      # rumr::Sweep and rumr::Race facades.
+      for preset in release asan-ubsan; do
+        banner "configure+build race_demo [$preset]"
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target race_demo
+        banner "race demo [$preset]"
+        "./build/$preset/tools/race_demo"
+      done
+      ;;
     chaos)
       # Every cell of the campaign self-audits (work conservation, banked-work
       # accounting, span sanity) and must converge within its event budget;
@@ -183,7 +205,7 @@ for stage in "${STAGES[@]}"; do
         --threshold 0.20 --history results/BENCH_history.jsonl
       ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|chaos|perf)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|race|chaos|perf)" >&2
       exit 2
       ;;
   esac

@@ -1,6 +1,7 @@
 #include "api/rumr.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <tuple>
@@ -254,6 +255,137 @@ jobs::ServiceResult JobsRun::execute() const {
   return result;
 }
 
+// --- Race builder ------------------------------------------------------------
+
+Race::Race()
+    : platform_(sweep::SweepPlatform::from_config(sweep::PlatformConfig{})),
+      policies_(sweep::racing_competitors()) {}
+
+Race& Race::platform(platform::StarPlatform p, std::string label) {
+  platform_ = {std::move(label), std::move(p)};
+  return *this;
+}
+
+Race& Race::platform(const sweep::PlatformConfig& config) {
+  platform_ = sweep::SweepPlatform::from_config(config);
+  return *this;
+}
+
+Race& Race::error(double e) {
+  error_ = e;
+  return *this;
+}
+
+Race& Race::policies(std::vector<sweep::AlgorithmSpec> specs) {
+  policies_ = std::move(specs);
+  policy_problems_.clear();
+  return *this;
+}
+
+Race& Race::policies(const std::vector<std::string>& names) {
+  policies_.clear();
+  policy_problems_.clear();
+  policies_.reserve(names.size());
+  // Same up-front probe as Sweep::policies: report unknown names from
+  // validate() instead of aborting mid-race.
+  const platform::StarPlatform probe =
+      platform::StarPlatform::homogeneous(platform::HomogeneousParams{});
+  for (const std::string& name : names) {
+    try {
+      (void)config::make_policy(name, probe, 100.0, 0.0);
+    } catch (const config::ConfigError& error) {
+      policy_problems_.emplace_back("policy \"" + name + "\": " + error.what());
+    }
+    sweep::AlgorithmSpec spec;
+    spec.name = name;
+    spec.make = [name](const platform::StarPlatform& p, double w_total, double error) {
+      return config::make_policy(name, p, w_total, error);
+    };
+    policies_.push_back(std::move(spec));
+  }
+  return *this;
+}
+
+Race& Race::workload(double units) {
+  workload_ = units;
+  return *this;
+}
+
+Race& Race::delta(double d) {
+  delta_ = d;
+  return *this;
+}
+
+Race& Race::block(std::size_t reps_per_round) {
+  block_ = reps_per_round;
+  return *this;
+}
+
+Race& Race::budget(std::size_t max_reps) {
+  budget_ = max_reps;
+  return *this;
+}
+
+Race& Race::threads(std::size_t n) {
+  threads_ = n;
+  return *this;
+}
+
+Race& Race::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+Race& Race::objective(race::Objective o) {
+  objective_ = o;
+  return *this;
+}
+
+Race& Race::distribution(stats::ErrorDistribution d) {
+  distribution_ = d;
+  return *this;
+}
+
+Race& Race::audit(bool on) {
+  audit_ = on;
+  return *this;
+}
+
+race::RaceOptions Race::race_options() const {
+  race::RaceOptions options;
+  options.delta = delta_;
+  options.block = block_;
+  options.max_reps = budget_;
+  options.threads = threads_;
+  options.base_seed = seed_;
+  options.objective = objective_;
+  options.w_total = workload_;
+  options.distribution = distribution_;
+  options.audit_runs = audit_;
+  options.audit_result = audit_;
+  return options;
+}
+
+std::vector<std::string> Race::validate() const {
+  std::vector<std::string> problems = race_options().validate();
+  if (policies_.empty()) problems.emplace_back("policy line-up is empty");
+  for (const std::string& p : policy_problems_) problems.push_back(p);
+  if (!std::isfinite(error_) || error_ < 0.0) {
+    problems.emplace_back("error level must be finite and non-negative");
+  }
+  return problems;
+}
+
+race::RaceResult Race::execute() const {
+  const std::vector<std::string> problems = validate();
+  if (!problems.empty()) {
+    std::string joined = "invalid Race description:";
+    for (const std::string& p : problems) joined += "\n  - " + p;
+    throw std::invalid_argument(joined);
+  }
+  return race::race_cell(platform_, policies_, error_, race_options());
+}
+
 // --- Sweep builder -----------------------------------------------------------
 
 Sweep::Sweep()
@@ -345,6 +477,22 @@ Sweep& Sweep::loads(std::vector<double> axis) {
   return *this;
 }
 
+Sweep& Sweep::race(double delta) {
+  race_mode_ = true;
+  race_delta_ = delta;
+  return *this;
+}
+
+Sweep& Sweep::objective(race::Objective o) {
+  race_objective_ = o;
+  return *this;
+}
+
+Sweep& Sweep::on_cell(race::RaceConsumer consumer) {
+  race_consumer_ = std::move(consumer);
+  return *this;
+}
+
 Sweep& Sweep::reps(std::size_t n) {
   reps_ = n;
   return *this;
@@ -412,11 +560,66 @@ sweep::JobsSweepOptions Sweep::open_options() const {
   return options;
 }
 
+race::RaceOptions Sweep::race_options() const {
+  race::RaceOptions options;
+  options.delta = race_delta_;
+  options.block = rep_block_ == 0 ? 8 : rep_block_;
+  options.max_reps = reps_ == 0 ? 256 : reps_;
+  options.threads = threads_;
+  options.base_seed = seed_;
+  options.objective = race_objective_;
+  options.w_total = workload_;
+  options.distribution = distribution_;
+  options.audit_runs = audit_;
+  options.audit_result = audit_;
+  return options;
+}
+
 std::vector<std::string> Sweep::validate() const {
   std::vector<std::string> problems;
   if (platforms_.empty()) {
     problems.emplace_back(
         "platform axis is empty — call grid(), platforms(), or platform() first");
+  }
+  if (jobs_mode_ && race_mode_) {
+    problems.emplace_back(
+        "jobs()/loads() and race() were both called — a sweep is either "
+        "open-system or raced, not both");
+    return problems;
+  }
+  if (race_mode_) {
+    std::vector<std::string> race_problems = race_options().validate();
+    for (std::string& p : race_problems) problems.push_back(std::move(p));
+    if (errors_.empty()) problems.emplace_back("error axis is empty");
+    for (double e : errors_) {
+      if (!std::isfinite(e) || e < 0.0) {
+        problems.emplace_back("error axis values must be finite and non-negative");
+        break;
+      }
+    }
+    if (policies_.empty()) problems.emplace_back("policy line-up is empty");
+    for (const std::string& p : policy_problems_) problems.push_back(p);
+    if (faults_.enabled()) {
+      problems.emplace_back(
+          "worker faults are set but the race engine does not inject faults — "
+          "race the fault-free objective or use a closed-system sweep");
+    }
+    if (cell_consumer_) {
+      problems.emplace_back(
+          "a closed-system on_cell consumer is set but the sweep is raced — "
+          "use the race::RaceConsumer overload");
+    }
+    if (jobs_consumer_) {
+      problems.emplace_back(
+          "an open-system on_cell consumer is set but the sweep is raced — "
+          "use the race::RaceConsumer overload");
+    }
+    if (!buffer_ && !race_consumer_) {
+      problems.emplace_back(
+          "buffering is disabled and no on_cell consumer is set — every cell would "
+          "be discarded");
+    }
+    return problems;
   }
 
   std::size_t reps = 0;
@@ -428,6 +631,11 @@ std::vector<std::string> Sweep::validate() const {
       problems.emplace_back(
           "a closed-system on_cell consumer is set but the sweep is open-system — "
           "use the sweep::JobsCellConsumer overload");
+    }
+    if (race_consumer_) {
+      problems.emplace_back(
+          "a race on_cell consumer is set but the sweep is open-system — "
+          "call race() to switch modes, or use the sweep::JobsCellConsumer overload");
     }
     if (!buffer_ && !jobs_consumer_) {
       problems.emplace_back(
@@ -446,6 +654,11 @@ std::vector<std::string> Sweep::validate() const {
           "an open-system on_cell consumer is set but the sweep is closed-system — "
           "call jobs() or loads() to switch modes, or use the sweep::CellConsumer "
           "overload");
+    }
+    if (race_consumer_) {
+      problems.emplace_back(
+          "a race on_cell consumer is set but the sweep is closed-system — "
+          "call race() to switch modes, or use the sweep::CellConsumer overload");
     }
     if (!buffer_ && !cell_consumer_) {
       problems.emplace_back(
@@ -483,6 +696,9 @@ std::vector<sweep::SweepCell> Sweep::execute() const {
   if (jobs_mode_) {
     throw std::invalid_argument("this Sweep is in open-system mode — call execute_jobs()");
   }
+  if (race_mode_) {
+    throw std::invalid_argument("this Sweep is in race mode — call execute_race()");
+  }
   throw_if_invalid("invalid Sweep description:");
 
   std::vector<sweep::SweepCell> cells;
@@ -517,6 +733,26 @@ std::vector<sweep::JobsSweepCell> Sweep::execute_jobs() const {
             [](const sweep::JobsSweepCell& a, const sweep::JobsSweepCell& b) {
               return std::tie(a.platform_index, a.load_index) <
                      std::tie(b.platform_index, b.load_index);
+            });
+  return cells;
+}
+
+std::vector<race::RaceCell> Sweep::execute_race() const {
+  if (!race_mode_) {
+    throw std::invalid_argument("this Sweep is not raced — call race() first");
+  }
+  throw_if_invalid("invalid Sweep description:");
+
+  std::vector<race::RaceCell> cells;
+  race::run_race_sweep(platforms_, policies_, errors_, race_options(),
+                       [this, &cells](const race::RaceCell& cell) {
+                         if (race_consumer_) race_consumer_(cell);
+                         if (buffer_) cells.push_back(cell);
+                       });
+  std::sort(cells.begin(), cells.end(),
+            [](const race::RaceCell& a, const race::RaceCell& b) {
+              return std::tie(a.platform_index, a.error_index) <
+                     std::tie(b.platform_index, b.error_index);
             });
   return cells;
 }

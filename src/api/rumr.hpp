@@ -65,8 +65,12 @@
 #include "jobs/job_manager.hpp"
 #include "jobs/job_stream.hpp"
 #include "jobs/jobs_config.hpp"
+#include "check/race_audit.hpp"
 #include "obs/metrics.hpp"
 #include "platform/platform.hpp"
+#include "race/bounds.hpp"
+#include "race/race.hpp"
+#include "race/result.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/csv.hpp"
 #include "report/jobs_io.hpp"
@@ -251,10 +255,90 @@ class JobsRun {
   bool audit_ = true;
 };
 
+/// Builder for a single best-arm race (race/race.hpp): which policy wins on
+/// *this* platform under *this* error regime, certified at level delta.
+///
+///   rumr::race::RaceResult r = rumr::Race()
+///                                  .platform(cluster, "render-farm")
+///                                  .error(0.3)
+///                                  .delta(0.05)
+///                                  .execute();
+///   std::printf("winner %s after %zu sims (%.1fx fewer than fixed-rep)\n",
+///               r.arms[r.winner].name.c_str(), r.total_samples,
+///               r.sims_saved_ratio());
+///
+/// validate()/execute() parity with the other builders: validate() returns
+/// every problem at once, execute() throws std::invalid_argument carrying
+/// them. Every execute() self-audits — each simulation through
+/// check::audit_sim_result and the finished race through
+/// check::audit_race_result (disable with .audit(false)). Results are
+/// byte-identical for every threads= setting.
+class Race {
+ public:
+  /// Starts from the paper's Table-1 homogeneous 10-worker platform, the
+  /// racing_competitors() line-up, error 0.3, delta 0.05, blocks of 8
+  /// repetitions, and a 256-repetition per-arm budget.
+  Race();
+
+  // Fluent setters ---------------------------------------------------------
+
+  /// The platform to race on. The label is the platform's seed identity
+  /// (sweep::derive_rep_seed hashes it) — keep it stable.
+  Race& platform(platform::StarPlatform p, std::string label);
+  /// Table 1-style configuration (label = config.label()).
+  Race& platform(const sweep::PlatformConfig& config);
+  /// Actual prediction-error level driving every repetition.
+  Race& error(double e);
+  Race& policies(std::vector<sweep::AlgorithmSpec> specs);
+  /// Same vocabulary as Run::algorithm; unknown names are reported by
+  /// validate() rather than thrown here.
+  Race& policies(const std::vector<std::string>& names);
+  Race& workload(double units);
+  /// Certification level: P(certified winner is not the best arm) <= delta.
+  Race& delta(double d);
+  /// Repetitions added per active arm per round (>= 2).
+  Race& block(std::size_t reps_per_round);
+  /// Per-arm repetition budget; exhaustion flags the result instead of
+  /// certifying.
+  Race& budget(std::size_t max_reps);
+  Race& threads(std::size_t n);  ///< 0 = hardware concurrency.
+  Race& seed(std::uint64_t s);
+  Race& objective(race::Objective o);
+  Race& distribution(stats::ErrorDistribution d);
+  /// Self-audit every simulation and the finished race (default on).
+  Race& audit(bool on = true);
+
+  // Validation and execution -----------------------------------------------
+
+  /// Every problem with the current description; empty = executable.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Runs the race. Throws std::invalid_argument listing every validate()
+  /// problem, and check::CheckError on an audit violation.
+  [[nodiscard]] race::RaceResult execute() const;
+
+ private:
+  [[nodiscard]] race::RaceOptions race_options() const;
+
+  sweep::SweepPlatform platform_;
+  std::vector<sweep::AlgorithmSpec> policies_;
+  std::vector<std::string> policy_problems_;  ///< Unknown names, reported by validate().
+  double error_ = 0.3;
+  double workload_ = 1000.0;
+  double delta_ = 0.05;
+  std::size_t block_ = 8;
+  std::size_t budget_ = 256;
+  std::size_t threads_ = 0;
+  std::uint64_t seed_ = 0x5eed5eed5eedULL;
+  race::Objective objective_ = race::Objective::kMakespan;
+  stats::ErrorDistribution distribution_ = stats::ErrorDistribution::kTruncatedNormal;
+  bool audit_ = true;
+};
+
 /// Builder for a full parameter sweep — the single public entry point onto
 /// the sharded streaming sweep engine (sweep/runner.hpp).
 ///
-/// Two modes share one builder:
+/// Three modes share one builder:
 ///
 ///   - **closed-system** (the default): platforms x error axis x policies,
 ///     every repetition a whole-workload race of the line-up. execute()
@@ -263,6 +347,11 @@ class JobsRun {
 ///   - **open-system**: entered by jobs(base) or loads(axis); platforms x
 ///     offered-load axis over a jobs::JobsOptions template. execute_jobs()
 ///     returns the buffered cells in (platform, load) order.
+///   - **race**: entered by race(delta); every (platform, error) cell runs a
+///     best-arm race over the line-up instead of a fixed repetition count —
+///     reps() becomes the per-arm budget and rep_block() the per-round block
+///     size. execute_race() returns the raced cells in (platform, error)
+///     order.
 ///
 /// Cells stream through on_cell() the moment their site's last shard lands
 /// (serialized, order across sites unspecified); pair on_cell() with
@@ -318,9 +407,23 @@ class Sweep {
   /// open-system mode.
   Sweep& loads(std::vector<double> axis);
 
+  // Race mode --------------------------------------------------------------
+
+  /// Switches to race mode: each (platform, error) cell runs a best-arm race
+  /// (race/race.hpp) over the policy line-up at certification level `delta`
+  /// instead of a fixed repetition count. reps() becomes the per-arm budget
+  /// (default 256) and rep_block() the per-round block size (default 8,
+  /// minimum 2). Conflicts with jobs()/loads().
+  Sweep& race(double delta = 0.05);
+  /// Race-mode objective (makespan by default).
+  Sweep& objective(race::Objective o);
+  /// Race-mode cell sink.
+  Sweep& on_cell(race::RaceConsumer consumer);
+
   // Execution knobs --------------------------------------------------------
 
-  /// Repetitions per cell (default: 40 closed-system, 3 open-system).
+  /// Repetitions per cell (default: 40 closed-system, 3 open-system, 256
+  /// per-arm budget in race mode).
   Sweep& reps(std::size_t n);
   Sweep& threads(std::size_t n);  ///< 0 = hardware concurrency.
   Sweep& seed(std::uint64_t s);
@@ -355,9 +458,14 @@ class Sweep {
   /// (platform, load) index — empty with buffer(false).
   [[nodiscard]] std::vector<sweep::JobsSweepCell> execute_jobs() const;
 
+  /// Runs a raced sweep (requires race()). Returns the buffered cells sorted
+  /// by (platform, error) index — empty with buffer(false).
+  [[nodiscard]] std::vector<race::RaceCell> execute_race() const;
+
  private:
   [[nodiscard]] sweep::SweepOptions closed_options() const;
   [[nodiscard]] sweep::JobsSweepOptions open_options() const;
+  [[nodiscard]] race::RaceOptions race_options() const;
   void throw_if_invalid(const char* what) const;
 
   std::vector<sweep::SweepPlatform> platforms_;
@@ -371,7 +479,11 @@ class Sweep {
   sim::SimOptions::FaultToleranceOptions fault_tolerance_{};
   jobs::JobsOptions jobs_base_{};
   bool jobs_mode_ = false;
-  std::size_t reps_ = 0;  ///< 0 = mode default (40 closed, 3 open).
+  bool race_mode_ = false;
+  double race_delta_ = 0.05;
+  race::Objective race_objective_ = race::Objective::kMakespan;
+  race::RaceConsumer race_consumer_;
+  std::size_t reps_ = 0;  ///< 0 = mode default (40 closed, 3 open, 256 race).
   std::size_t threads_ = 0;
   std::uint64_t seed_ = 0x5eed5eed5eedULL;
   std::size_t rep_block_ = 0;

@@ -1,0 +1,181 @@
+#include "check/race_audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "race/bounds.hpp"
+
+namespace rumr::check {
+
+namespace {
+
+bool close(double a, double b, double rel_tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= rel_tol * scale;
+}
+
+std::string arm_label(const race::RaceResult& result, std::size_t index) {
+  if (index < result.arms.size()) {
+    return "arm " + std::to_string(index) + " (" + result.arms[index].name + ")";
+  }
+  return "arm " + std::to_string(index);
+}
+
+}  // namespace
+
+AuditReport audit_race_result(const race::RaceResult& result) {
+  constexpr double kRelTol = 1e-9;
+  AuditReport report;
+  const auto violation = [&report](const std::string& message) {
+    report.violations.push_back("race: " + message);
+  };
+
+  if (result.arms.empty()) {
+    violation("result has no arms");
+    return report;
+  }
+  const std::size_t num_arms = result.arms.size();
+
+  // --- sample-ledger conservation -------------------------------------------
+  std::size_t ledger = 0;
+  std::size_t survivors = 0;
+  for (std::size_t a = 0; a < num_arms; ++a) {
+    const race::ArmRecord& arm = result.arms[a];
+    if (arm.samples != arm.reward.count()) {
+      violation(arm_label(result, a) + ": samples counter (" + std::to_string(arm.samples) +
+                ") disagrees with its accumulator count (" +
+                std::to_string(arm.reward.count()) + ")");
+    }
+    if (arm.samples > result.max_samples) {
+      violation(arm_label(result, a) + ": samples (" + std::to_string(arm.samples) +
+                ") exceed the per-arm budget (" + std::to_string(result.max_samples) + ")");
+    }
+    if (!arm.eliminated) ++survivors;
+    if (arm.eliminated != (arm.eliminated_round > 0)) {
+      violation(arm_label(result, a) + ": eliminated flag disagrees with eliminated_round");
+    }
+    if (arm.eliminated_round > result.rounds) {
+      violation(arm_label(result, a) + ": eliminated in round " +
+                std::to_string(arm.eliminated_round) + " but the race only ran " +
+                std::to_string(result.rounds) + " rounds");
+    }
+    ledger += arm.samples;
+  }
+  if (ledger != result.total_samples) {
+    violation("sample ledger: arm samples sum to " + std::to_string(ledger) +
+              " but total_samples is " + std::to_string(result.total_samples));
+  }
+
+  // --- termination shape ----------------------------------------------------
+  if (survivors == 0) {
+    violation("every arm is eliminated — a race must leave a survivor");
+  } else if (result.budget_exhausted && survivors < 2) {
+    violation("budget_exhausted is set but only " + std::to_string(survivors) +
+              " arm survives — exhaustion means the race could not separate survivors");
+  } else if (!result.budget_exhausted && survivors != 1) {
+    violation(std::to_string(survivors) +
+              " arms survive without budget_exhausted — an unflagged race must certify a "
+              "single best arm");
+  }
+
+  // Survivors sample in lockstep, so they all share one final count.
+  std::size_t survivor_samples = 0;
+  for (const race::ArmRecord& arm : result.arms) {
+    if (arm.eliminated) continue;
+    if (survivor_samples == 0) {
+      survivor_samples = arm.samples;
+    } else if (arm.samples != survivor_samples) {
+      violation("survivors disagree on sample counts (" + std::to_string(survivor_samples) +
+                " vs " + std::to_string(arm.samples) + ") — active arms sample in lockstep");
+      break;
+    }
+  }
+
+  // --- winner soundness -----------------------------------------------------
+  if (result.winner >= num_arms) {
+    violation("winner index " + std::to_string(result.winner) + " is out of range");
+  } else if (result.arms[result.winner].eliminated) {
+    violation("winner " + arm_label(result, result.winner) + " was eliminated");
+  } else {
+    const double winner_mean = result.arms[result.winner].reward.mean();
+    for (std::size_t a = 0; a < num_arms; ++a) {
+      const race::ArmRecord& arm = result.arms[a];
+      if (arm.eliminated || a == result.winner) continue;
+      if (arm.reward.mean() < winner_mean) {
+        violation("winner " + arm_label(result, result.winner) + " (mean " +
+                  std::to_string(winner_mean) + ") is not the lowest-mean survivor — " +
+                  arm_label(result, a) + " has mean " + std::to_string(arm.reward.mean()));
+      }
+    }
+  }
+
+  // --- per-elimination bound replay -----------------------------------------
+  double spent_delta = 0.0;
+  std::size_t previous_round = 0;
+  for (std::size_t i = 0; i < result.eliminations.size(); ++i) {
+    const race::EliminationRecord& record = result.eliminations[i];
+    const std::string label = "elimination " + std::to_string(i) + " (" +
+                              arm_label(result, record.arm) + " in round " +
+                              std::to_string(record.round) + ")";
+    if (record.arm >= num_arms || record.best >= num_arms) {
+      violation(label + ": arm index out of range");
+      continue;
+    }
+    if (record.round < previous_round) {
+      violation(label + ": rounds are not monotone in the elimination ledger");
+    }
+    previous_round = record.round;
+
+    const race::ArmRecord& arm = result.arms[record.arm];
+    if (!arm.eliminated || arm.eliminated_round != record.round) {
+      violation(label + ": arm record disagrees (eliminated_round " +
+                std::to_string(arm.eliminated_round) + ")");
+    }
+    if (arm.samples != record.samples) {
+      violation(label + ": arm kept sampling after elimination (final " +
+                std::to_string(arm.samples) + ", at decision " +
+                std::to_string(record.samples) + ")");
+    }
+    const race::ArmRecord& best = result.arms[record.best];
+    if (best.eliminated && best.eliminated_round < record.round) {
+      violation(label + ": incumbent " + arm_label(result, record.best) +
+                " was already eliminated in round " + std::to_string(best.eliminated_round));
+    }
+    if (record.samples < 2) {
+      violation(label + ": decided on fewer than two samples — the variance is undefined");
+    }
+
+    const double want_delta_eff =
+        race::round_delta(result.delta, num_arms, record.round);
+    if (!close(record.delta_eff, want_delta_eff, 1e-12)) {
+      violation(label + ": delta_eff " + std::to_string(record.delta_eff) +
+                " does not match round_delta's " + std::to_string(want_delta_eff));
+    }
+    spent_delta += record.delta_eff;
+
+    const double arm_radius = race::confidence_radius(record.arm_variance, record.range,
+                                                      record.samples, record.delta_eff);
+    const double best_radius = race::confidence_radius(record.best_variance, record.range,
+                                                       record.samples, record.delta_eff);
+    if (!close(record.arm_lcb, record.arm_mean - arm_radius, kRelTol)) {
+      violation(label + ": recorded arm_lcb does not recompute from the decision tuple");
+    }
+    if (!close(record.best_ucb, record.best_mean + best_radius, kRelTol)) {
+      violation(label + ": recorded best_ucb does not recompute from the decision tuple");
+    }
+    if (!(record.arm_lcb > record.best_ucb)) {
+      violation(label + ": confidence bound did NOT exclude the incumbent (arm_lcb " +
+                std::to_string(record.arm_lcb) + " <= best_ucb " +
+                std::to_string(record.best_ucb) + ")");
+    }
+  }
+  if (spent_delta > result.delta * (1.0 + 1e-9)) {
+    violation("spent per-comparison budgets sum to " + std::to_string(spent_delta) +
+              " — more than the race's delta " + std::to_string(result.delta));
+  }
+
+  return report;
+}
+
+}  // namespace rumr::check

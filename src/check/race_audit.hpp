@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file race_audit.hpp
+/// Invariant auditor for best-arm race results (race/result.hpp).
+///
+/// A race's verdict is only as trustworthy as the eliminations behind it, so
+/// the result carries a full decision ledger and this auditor replays it:
+///
+///   - sample-ledger conservation: every arm's accumulator count equals its
+///     sample counter, the counters sum to the race total, and nothing
+///     exceeded the per-arm budget;
+///   - termination shape: exactly one surviving arm, or the budget-exhausted
+///     flag is set (and then more than one survivor remains);
+///   - winner soundness: the winner is an un-eliminated arm with the lowest
+///     survivor mean;
+///   - per-elimination bound replay: the recorded per-round error budget
+///     matches round_delta(delta, K, round), both confidence radii recompute
+///     from the recorded (variance, range, samples) tuple, and the
+///     eliminated arm's lower bound really exceeded the incumbent's upper
+///     bound at decision time;
+///   - sampling discipline: eliminated arms stopped at their elimination
+///     (final samples == samples at the decision), decisions reference an
+///     incumbent still active at that round, rounds are monotone, and the
+///     spent per-comparison budgets sum to at most delta.
+///
+/// Lives in check (not race) so the race engine can self-audit through the
+/// same layering every other subsystem uses; depends only on the header-only
+/// race/result.hpp + race/bounds.hpp, keeping the check <- race link acyclic.
+
+#include "check/des_audit.hpp"
+#include "race/result.hpp"
+
+namespace rumr::check {
+
+/// Audits `result` as described above. Counts compare exactly, recomputed
+/// bounds to 1e-9 relative tolerance (the engine records the exact doubles
+/// it decided with, so drift beyond rounding means the ledger and the bound
+/// math disagree).
+[[nodiscard]] AuditReport audit_race_result(const race::RaceResult& result);
+
+}  // namespace rumr::check

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file race.hpp
+/// Best-arm-identification racing over scheduler policies.
+///
+/// The paper's claim is comparative — which scheduler wins on this platform
+/// under this error regime — yet a fixed-repetition sweep spends the same
+/// budget on arms that are obviously dominated after a handful of runs. A
+/// *race* treats each candidate policy as an arm, samples all still-active
+/// arms in synchronized blocks of seeded repetitions, and eliminates an arm
+/// the moment its confidence interval (race/bounds.hpp) separates from the
+/// incumbent's — successive elimination with anytime empirical-Bernstein
+/// bounds, delta-certified by a union budget over arms and rounds.
+///
+/// Determinism contract (the same one the sharded sweep keeps):
+///
+///   - repetition seeds come from sweep::derive_rep_seed(base_seed, label,
+///     error, rep) and are *shared across arms per repetition*, so every arm
+///     faces the same perturbation lanes (paired comparisons);
+///   - each sampling round runs its (arm, rep) grid through parallel_for
+///     into preallocated slots and folds the rewards in fixed (arm, rep)
+///     order, so the accumulators, fingerprints, elimination order, and
+///     winner are byte-identical for any thread count;
+///   - elimination decisions depend only on folded statistics, never on
+///     timing, so a race's outcome is a pure function of its description.
+///
+/// check::audit_race_result replays the recorded elimination ledger against
+/// the bound math; run_race / race_cell invoke it by default.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "race/result.hpp"
+#include "stats/error_model.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/scheduler_factory.hpp"
+
+namespace rumr::race {
+
+/// Reward oracle for the race core: the objective value of arm `arm` on
+/// repetition `rep`. MUST be a pure function of (arm, rep) — the core calls
+/// it from parallel_for workers in unspecified order, and the determinism
+/// contract (and thread-safety) rests on the oracle deriving everything from
+/// its arguments. Smaller is better.
+using ArmOracle = std::function<double(std::size_t arm, std::size_t rep)>;
+
+/// Race configuration. The engine-backed entry points (race_cell,
+/// run_race_sweep) use every field; the synthetic-oracle core (run_race)
+/// ignores the simulation fields (w_total, distribution, audit_runs).
+struct RaceOptions {
+  /// Certification level: the probability the certified winner is not the
+  /// true best arm is at most delta (validated empirically by the
+  /// certification suite — see race/bounds.hpp on the range approximation).
+  double delta = 0.05;
+  /// Repetitions added to every active arm per round. Must be >= 2 so the
+  /// first elimination check has a defined variance.
+  std::size_t block = 8;
+  /// Per-arm repetition budget. When it runs out with more than one
+  /// survivor, the result is flagged budget_exhausted and the winner is the
+  /// lowest-mean survivor (not certified).
+  std::size_t max_reps = 256;
+  std::size_t threads = 0;  ///< Within-round parallelism; 0 = hardware.
+  std::uint64_t base_seed = 0x5eed5eed5eedULL;
+  Objective objective = Objective::kMakespan;
+  double w_total = 1000.0;
+  stats::ErrorDistribution distribution = stats::ErrorDistribution::kTruncatedNormal;
+  /// Audit every simulation with check::audit_sim_result (engine-backed
+  /// races only; violations throw check::CheckError).
+  bool audit_runs = true;
+  /// Audit the finished race with check::audit_race_result before returning.
+  bool audit_result = true;
+
+  /// Every problem with these options, human-readable; empty = usable.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// One raced cell of a grid: the (platform, error) coordinates plus the full
+/// race record.
+struct RaceCell {
+  std::size_t platform_index = 0;
+  std::size_t error_index = 0;
+  std::string platform_label;
+  double error = 0.0;
+  RaceResult result;
+};
+
+/// Raced-cell sink. Called under the engine's emission mutex: invocations
+/// are serialized, but their order across cells is unspecified.
+using RaceConsumer = std::function<void(const RaceCell&)>;
+
+/// The race core: successive elimination over `names.size()` arms whose
+/// rewards come from `oracle`. Pure of any simulation knowledge — the
+/// certification suite drives it with synthetic known-gap oracles. Throws
+/// std::invalid_argument on validation failure and check::CheckError when
+/// audit_result is on and the ledger fails its audit.
+[[nodiscard]] RaceResult run_race(const std::vector<std::string>& names,
+                                  const ArmOracle& oracle, const RaceOptions& options);
+
+/// Races `algorithms` on one (platform, error) cell: rewards are simulated
+/// makespans (or slowdowns) with per-repetition seeds shared across arms via
+/// sweep::derive_rep_seed. Byte-identical for any options.threads.
+[[nodiscard]] RaceResult race_cell(const sweep::SweepPlatform& platform,
+                                   const std::vector<sweep::AlgorithmSpec>& algorithms,
+                                   double error, const RaceOptions& options);
+
+/// Races every (platform, error) cell of a grid, cells across parallel_for
+/// (each cell's race runs inline), streaming each finished cell through
+/// `consumer`. The per-cell results are identical to race_cell's.
+void run_race_sweep(const std::vector<sweep::SweepPlatform>& platforms,
+                    const std::vector<sweep::AlgorithmSpec>& algorithms,
+                    const std::vector<double>& errors, const RaceOptions& options,
+                    const RaceConsumer& consumer);
+
+}  // namespace rumr::race

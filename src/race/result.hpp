@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file result.hpp
+/// Result record of a best-arm race (race/race.hpp).
+///
+/// Header-only so check::audit_race_result (which the race library links,
+/// not the reverse) can consume the record without a dependency cycle. The
+/// record is deliberately a *ledger*, not just a verdict: every elimination
+/// carries the full tuple the decision was made from (means, variances,
+/// pooled range, synchronized sample count, per-round error budget), so the
+/// auditor can recompute both confidence bounds and verify the eliminated
+/// arm's interval really excluded the incumbent's at that moment.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace rumr::race {
+
+/// What a race minimizes per repetition.
+enum class Objective {
+  kMakespan,  ///< Raw makespan (seconds).
+  kSlowdown,  ///< Makespan / combined lower bound (platform-normalized).
+};
+
+[[nodiscard]] inline const char* to_string(Objective objective) noexcept {
+  return objective == Objective::kSlowdown ? "slowdown" : "makespan";
+}
+
+/// FNV-1a offset basis — the initial value of a lane fingerprint.
+inline constexpr std::uint64_t kFingerprintSeed = 0xcbf29ce484222325ULL;
+
+/// Folds one reward's exact bit pattern into a lane fingerprint (FNV-1a over
+/// the 8 bytes, little-endian byte order by construction). Byte-identity of
+/// two races is asserted through these fingerprints: any FP difference in
+/// any reward of any arm changes the fold.
+[[nodiscard]] inline std::uint64_t fold_fingerprint(std::uint64_t fingerprint,
+                                                    double reward) noexcept {
+  const auto bits = std::bit_cast<std::uint64_t>(reward);
+  for (int byte = 0; byte < 8; ++byte) {
+    fingerprint ^= (bits >> (8 * byte)) & 0xffULL;
+    fingerprint *= 0x100000001b3ULL;
+  }
+  return fingerprint;
+}
+
+/// One arm's standing at the end of the race.
+struct ArmRecord {
+  std::string name;
+  /// Per-repetition objective values (Welford moments + min/max). The count
+  /// equals `samples`; eliminated arms stop accumulating at elimination.
+  stats::Accumulator reward;
+  std::size_t samples = 0;
+  bool eliminated = false;
+  /// 1-based round the arm was eliminated in; 0 for survivors.
+  std::size_t eliminated_round = 0;
+  /// FNV-1a fold of every reward this arm observed, in repetition order.
+  std::uint64_t lane_fingerprint = kFingerprintSeed;
+};
+
+/// The decision tuple behind one elimination, recorded verbatim so the
+/// auditor can replay the bound math.
+struct EliminationRecord {
+  std::size_t arm = 0;       ///< Index of the eliminated arm.
+  std::size_t best = 0;      ///< Index of the incumbent (lowest active mean).
+  std::size_t round = 0;     ///< 1-based round of the decision.
+  std::size_t samples = 0;   ///< Synchronized per-arm sample count at decision.
+  double arm_mean = 0.0;
+  double arm_variance = 0.0;
+  double best_mean = 0.0;
+  double best_variance = 0.0;
+  /// Pooled observed spread across all active arms at decision time (the
+  /// range plugged into both radii).
+  double range = 0.0;
+  /// Per-comparison error budget used: round_delta(delta, arms, round).
+  double delta_eff = 0.0;
+  /// arm_mean - radius(arm): the eliminated arm's optimistic (lower) bound.
+  double arm_lcb = 0.0;
+  /// best_mean + radius(best): the incumbent's pessimistic (upper) bound.
+  double best_ucb = 0.0;
+};
+
+/// Everything one race produced. A pure function of the race description
+/// (arms, seeds, delta, block, budget) — never of the thread count.
+struct RaceResult {
+  std::string platform_label;  ///< Empty for synthetic-oracle races.
+  double error = 0.0;          ///< Error-axis value (0 for synthetic races).
+  double delta = 0.05;
+  Objective objective = Objective::kMakespan;
+  std::size_t winner = 0;  ///< Index into `arms`.
+  /// True when the per-arm budget ran out with more than one survivor; the
+  /// winner is then the lowest-mean survivor, *not* a certified best arm.
+  bool budget_exhausted = false;
+  std::size_t rounds = 0;          ///< Sampling rounds executed.
+  std::size_t total_samples = 0;   ///< Ledger: sum of arms[i].samples.
+  std::size_t max_samples = 0;     ///< Per-arm budget the race ran under.
+  std::vector<ArmRecord> arms;
+  std::vector<EliminationRecord> eliminations;
+
+  /// Simulations a fixed-repetition sweep over the same lineup and budget
+  /// would have run: arms * max_samples.
+  [[nodiscard]] std::size_t fixed_budget_samples() const noexcept {
+    return arms.size() * max_samples;
+  }
+
+  /// fixed_budget_samples() / total_samples — the racing speedup ("3.4x
+  /// fewer simulations"). 0 when no samples were drawn.
+  [[nodiscard]] double sims_saved_ratio() const noexcept {
+    if (total_samples == 0) return 0.0;
+    return static_cast<double>(fixed_budget_samples()) /
+           static_cast<double>(total_samples);
+  }
+};
+
+}  // namespace rumr::race

@@ -12,6 +12,7 @@
 #include "faults/fault_model.hpp"
 #include "jobs/job_manager.hpp"
 #include "platform/platform.hpp"
+#include "race/race.hpp"
 #include "sim/master_worker.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/scheduler_factory.hpp"
@@ -101,6 +102,12 @@ constexpr const char* kJobsScenario = "jobs-poisson";
 /// derivation, and fixed-order merge tree — of a small multi-threaded sweep.
 constexpr const char* kSweepScenario = "sweep-sharded";
 
+/// The best-arm racing scenario (see record_race_scenario): pins a small
+/// race's per-arm sample counts, elimination rounds, winner, and the
+/// seed-lane reward fingerprints — and therefore the shared-seed derivation,
+/// the fixed-order reward fold, and the elimination math of race/race.cpp.
+constexpr const char* kRaceScenario = "race-small";
+
 constexpr ScenarioDef kScenarios[] = {
     {"homogeneous-10", 1000.0, 0.3, 42, &homogeneous_10, &no_faults, nullptr},
     {"heterogeneous-4", 400.0, 0.2, 7, &heterogeneous_4, &no_faults, nullptr},
@@ -115,6 +122,8 @@ constexpr ScenarioDef kScenarios[] = {
     // sweep-sharded is handled by record_sweep_scenario; error is the top of
     // the two-level error axis {0, error}.
     {kSweepScenario, 500.0, 0.3, 23, &homogeneous_10, &no_faults, nullptr},
+    // race-small is handled by record_race_scenario.
+    {kRaceScenario, 500.0, 0.3, 29, &homogeneous_10, &no_faults, nullptr},
 };
 
 const ScenarioDef& find_scenario(const std::string& name) {
@@ -257,10 +266,84 @@ GoldenScenario record_sweep_scenario(const ScenarioDef& def) {
   return scenario;
 }
 
+/// Fingerprints one best-arm race through race::race_cell — five arms from
+/// the racing line-up, blocks of 8 up to a 64-rep budget, 4 threads (the race
+/// core's determinism contract makes the thread count irrelevant to the bytes
+/// produced, and running threaded keeps that claim continuously tested). One
+/// case per arm plus a trailing "@summary" case. GoldenCase fields are reused
+/// under this mapping:
+///
+///   per-arm case:
+///     algorithm          <- arm name
+///     makespan           <- arm reward mean
+///     work_dispatched    <- arm reward variance (drifts on any fold reorder)
+///     uplink_busy_time   <- arm reward sum
+///     chunks             <- arm samples at race end
+///     events             <- arm seed-lane reward fingerprint, the 64-bit
+///                           FNV-1a folded to 32 bits (the fixture round-trips
+///                           counts through doubles, so 2^53 is the ceiling)
+///     chunks_redispatched<- elimination round (0 = survivor)
+///   "@summary" case:
+///     makespan           <- winner index
+///     work_dispatched    <- total samples spent
+///     uplink_busy_time   <- delta
+///     chunks             <- rounds run
+///     events             <- eliminations recorded
+///     chunks_redispatched<- 1 if budget_exhausted else 0
+GoldenScenario record_race_scenario(const ScenarioDef& def) {
+  GoldenScenario scenario;
+  scenario.name = def.name;
+  scenario.w_total = def.w_total;
+  scenario.error = def.error;
+  scenario.seed = def.seed;
+
+  std::vector<AlgorithmSpec> arms;
+  arms.push_back(rumr_spec());
+  arms.push_back(rumr_fixed_spec(50.0));
+  arms.push_back(umr_spec());
+  arms.push_back(factoring_spec());
+  arms.push_back(fsc_spec());
+
+  race::RaceOptions options;
+  options.block = 16;
+  options.max_reps = 384;
+  options.threads = 4;
+  options.base_seed = def.seed;
+  options.w_total = def.w_total;
+  // audit_runs / audit_result stay on: a fingerprint of a race that violates
+  // its own ledger invariants is worthless.
+  const race::RaceResult result = race::race_cell(
+      SweepPlatform{"golden-hom-10", def.make_platform()}, arms, def.error, options);
+
+  for (const race::ArmRecord& arm : result.arms) {
+    GoldenCase c;
+    c.algorithm = arm.name;
+    c.makespan = arm.reward.mean();
+    c.work_dispatched = arm.reward.variance();
+    c.uplink_busy_time = arm.reward.sum();
+    c.chunks = arm.samples;
+    c.events = (arm.lane_fingerprint ^ (arm.lane_fingerprint >> 32)) & 0xffffffffULL;
+    c.chunks_redispatched = arm.eliminated_round;
+    scenario.cases.push_back(std::move(c));
+  }
+
+  GoldenCase summary;
+  summary.algorithm = "@summary";
+  summary.makespan = static_cast<double>(result.winner);
+  summary.work_dispatched = static_cast<double>(result.total_samples);
+  summary.uplink_busy_time = result.delta;
+  summary.chunks = result.rounds;
+  summary.events = result.eliminations.size();
+  summary.chunks_redispatched = result.budget_exhausted ? 1 : 0;
+  scenario.cases.push_back(std::move(summary));
+  return scenario;
+}
+
 GoldenScenario record_scenario(const std::string& name) {
   const ScenarioDef& def = find_scenario(name);
   if (name == kJobsScenario) return record_jobs_scenario(def);
   if (name == kSweepScenario) return record_sweep_scenario(def);
+  if (name == kRaceScenario) return record_race_scenario(def);
   const platform::StarPlatform platform = def.make_platform();
 
   GoldenScenario scenario;

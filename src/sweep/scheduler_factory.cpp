@@ -104,6 +104,17 @@ std::vector<AlgorithmSpec> extended_competitors() {
   return specs;
 }
 
+std::vector<AlgorithmSpec> racing_competitors() {
+  std::vector<AlgorithmSpec> specs;
+  specs.push_back(rumr_spec());
+  for (double pct : {50.0, 60.0, 70.0, 80.0, 90.0}) specs.push_back(rumr_fixed_spec(pct));
+  specs.push_back(umr_spec());
+  specs.push_back(mi_spec(2));
+  specs.push_back(factoring_spec());
+  specs.push_back(fsc_spec());
+  return specs;
+}
+
 std::vector<AlgorithmSpec> loop_family_competitors() {
   std::vector<AlgorithmSpec> specs;
   specs.push_back(rumr_spec());

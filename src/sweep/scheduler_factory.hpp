@@ -62,4 +62,9 @@ struct AlgorithmSpec {
 /// RUMR, Factoring, WF, GSS, TSS, FSC (extension study).
 [[nodiscard]] std::vector<AlgorithmSpec> loop_family_competitors();
 
+/// The best-arm racing line-up (race/race.hpp): RUMR and its fixed-split
+/// ablations against the cross-family baselines —
+/// RUMR, RUMR-50..RUMR-90, UMR, MI-2, Factoring, FSC (10 arms).
+[[nodiscard]] std::vector<AlgorithmSpec> racing_competitors();
+
 }  // namespace rumr::sweep

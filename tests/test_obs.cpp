@@ -11,6 +11,7 @@
 #include "core/rumr.hpp"
 #include "core/umr_policy.hpp"
 #include "des/simulator.hpp"
+#include "obs/accumulators.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "platform/platform.hpp"
@@ -78,6 +79,60 @@ TEST(Histogram, EmptyReportsZeroExtrema) {
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedButCompatibleLayouts) {
+  // Same bucket COUNT, different edges: structurally compatible vectors, but
+  // merging them would silently mis-bucket every sample — must throw with a
+  // message naming the requirement, not crash or merge garbage.
+  obs::Histogram linear({1.0, 2.0, 3.0});
+  linear.add(1.5);
+  obs::Histogram geometric({1.0, 2.0, 4.0});
+  geometric.add(1.5);
+  try {
+    linear.merge(geometric);
+    FAIL() << "merge of mismatched edges did not throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("identical upper edges"), std::string::npos);
+  }
+  // The failed merge must not have corrupted the target.
+  EXPECT_EQ(linear.total(), 1u);
+  EXPECT_DOUBLE_EQ(linear.sum(), 1.5);
+}
+
+TEST(QuantileSketch, EmptySketchReportsZeroes) {
+  const obs::QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(sketch.quantile(q), 0.0);
+  }
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.0);
+}
+
+TEST(QuantileSketch, SingleSampleIsEveryQuantile) {
+  obs::QuantileSketch sketch;
+  sketch.add(3.7);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(sketch.quantile(q), 3.7);
+  }
+}
+
+TEST(QuantileSketch, DuplicateHeavyInputResolvesToTheDuplicate) {
+  // 990 copies of one value plus a few outliers, all inside the default
+  // comb's resolved span (min_edge * growth^buckets): every interior
+  // quantile must land in the duplicated value's bucket, i.e. within the
+  // comb's 5% relative error, and the extreme quantiles must stay pinned to
+  // the buckets of the observed min and max.
+  obs::QuantileSketch sketch;
+  for (int i = 0; i < 990; ++i) sketch.add(0.1);
+  for (int i = 0; i < 5; ++i) sketch.add(0.002);
+  for (int i = 0; i < 5; ++i) sketch.add(0.4);
+  EXPECT_NEAR(sketch.quantile(0.0), 0.002, 0.002 * 0.06);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 0.4);  // bucket_hi clamps to max.
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(sketch.quantile(q), 0.1, 0.1 * 0.06);
+  }
 }
 
 TEST(Histogram, ExponentialEdgesGrowGeometrically) {
