@@ -12,7 +12,9 @@
 //     "engine_events_per_sec":     ...,   // DES events inside those runs
 //     "jobs_per_sec":              ...,   // open-system jobs served end to end
 //     "sweep_cells_per_sec":       ...,   // sharded sweep grid cells completed
-//     "race_sims_saved_ratio":     ...    // fixed-budget sims / raced sims
+//     "race_sims_saved_ratio":     ...,   // fixed-budget sims / raced sims
+//     "serve_requests_per_sec":    ...,   // warm-cache what-if batches served
+//     "serve_warm_over_cold_ratio": ...   // cold request time / warm request time
 //   }
 //
 // CI archives the file per commit; regression tooling diffs it. Numbers are
@@ -170,6 +172,47 @@ double race_sims_saved_ratio() {
   return result.sims_saved_ratio();
 }
 
+struct ServeRates {
+  double requests_per_sec = 0.0;  ///< Warm-cache batch requests served per second.
+  double warm_over_cold = 0.0;    ///< Cold request time / warm request time.
+};
+
+/// Serving throughput: one 16-query what-if batch handled end to end
+/// (parse -> admission -> plan cache -> response bytes). Warm numbers come
+/// from a cached server after one priming request; cold numbers from a
+/// pass-through (capacity-0) server that re-solves every query — so the
+/// ratio is the plan cache's speedup on a repeated request, the number the
+/// serving acceptance criterion (>= 10x) gates on.
+ServeRates serve_rates() {
+  std::string payload = "{\"type\":\"batch\",\"id\":1,\"queries\":[";
+  for (int i = 0; i < 16; ++i) {
+    if (i != 0) payload += ',';
+    payload +=
+        "{\"platform\":{\"homogeneous\":{\"workers\":10,\"speed\":1,\"bandwidth\":15,"
+        "\"comp_latency\":0.2,\"comm_latency\":0.1}},\"workload\":1000,"
+        "\"algorithm\":\"rumr\",\"known_error\":0.3,\"error\":0.3,\"seed\":" +
+        std::to_string(i + 1) + "}";
+  }
+  payload += "]}";
+
+  serve::ServerOptions pass_through;
+  pass_through.cache_capacity = 0;
+  serve::Server cold_server{pass_through};
+  constexpr int kColdRounds = 20;
+  const auto cold_start = Clock::now();
+  for (int round = 0; round < kColdRounds; ++round) (void)cold_server.handle(payload);
+  const double cold_per_request = seconds_since(cold_start) / kColdRounds;
+
+  serve::Server warm_server{serve::ServerOptions{}};
+  (void)warm_server.handle(payload);  // Prime the cache.
+  constexpr int kWarmRounds = 400;
+  const auto warm_start = Clock::now();
+  for (int round = 0; round < kWarmRounds; ++round) (void)warm_server.handle(payload);
+  const double warm_per_request = seconds_since(warm_start) / kWarmRounds;
+
+  return {1.0 / warm_per_request, cold_per_request / warm_per_request};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +224,7 @@ int main(int argc, char** argv) {
   const double jobs_rate = jobs_per_sec();
   const double sweep_rate = sweep_cells_per_sec();
   const double race_ratio = race_sims_saved_ratio();
+  const ServeRates serve = serve_rates();
 
   std::error_code ec;
   std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
@@ -196,7 +240,9 @@ int main(int argc, char** argv) {
       << "  \"engine_events_per_sec\": " << engine.events_per_sec << ",\n"
       << "  \"jobs_per_sec\": " << jobs_rate << ",\n"
       << "  \"sweep_cells_per_sec\": " << sweep_rate << ",\n"
-      << "  \"race_sims_saved_ratio\": " << race_ratio << "\n"
+      << "  \"race_sims_saved_ratio\": " << race_ratio << ",\n"
+      << "  \"serve_requests_per_sec\": " << serve.requests_per_sec << ",\n"
+      << "  \"serve_warm_over_cold_ratio\": " << serve.warm_over_cold << "\n"
       << "}\n";
   out.close();
 
@@ -207,6 +253,8 @@ int main(int argc, char** argv) {
   std::printf("jobs      : %.3g jobs/s\n", jobs_rate);
   std::printf("sweep     : %.3g cells/s\n", sweep_rate);
   std::printf("race      : %.3gx sims saved\n", race_ratio);
+  std::printf("serve     : %.3g req/s warm, %.3gx over cold\n", serve.requests_per_sec,
+              serve.warm_over_cold);
   std::printf("written to %s\n", path);
   return 0;
 }

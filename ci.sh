@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            all stages
 #   ./ci.sh release    one stage: release | asan-ubsan | tsan | tidy | lint |
-#                      metrics | jobs | sweep | race | chaos | perf
+#                      metrics | jobs | sweep | race | chaos | serve | perf
 #
 # Stages (each uses the matching CMakePresets.json preset, building into
 # build/<preset>; every preset sets RUMR_WARNINGS_AS_ERRORS=ON):
@@ -45,6 +45,14 @@
 #               error for every policy, self-audits each cell, and
 #               --error-exit fails the stage on any audit violation or
 #               non-converging run
+#   serve       what-if scheduling server (tools/rumr_serve) under the release
+#               and asan-ubsan presets: --self-test covers cached-vs-cold
+#               byte identity (including a pass-through cache), concurrent
+#               exactly-once solving, reject/shed admission, and the
+#               rumr::Serve stream pump; then a full framed session round
+#               trip (--emit-demo-requests -> --stdio -> the verifier, which
+#               requires warm == cold bytes and the expected cache-hit
+#               ledger); nonzero exit on any violation
 #   perf        fresh bench_perf_json snapshot (results/BENCH_des.json) gated
 #               by tools/perf_gate against the checked-in
 #               results/BENCH_baseline.json: any rate more than 20% below
@@ -59,7 +67,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
-STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs sweep race chaos perf}")
+STAGES=("${@:-release asan-ubsan tsan tidy lint metrics jobs sweep race chaos serve perf}")
 # Re-split in case the default string was taken as one word.
 read -r -a STAGES <<< "${STAGES[*]}"
 
@@ -68,9 +76,9 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 # Reject typos up front, before any stage burns build time.
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|race|chaos|perf) ;;
+    release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|race|chaos|serve|perf) ;;
     *)
-      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | sweep | race | chaos | perf)" >&2
+      echo "ci.sh: unknown stage '$stage' (valid: release | asan-ubsan | tsan | tidy | lint | metrics | jobs | sweep | race | chaos | serve | perf)" >&2
       exit 2
       ;;
   esac
@@ -194,6 +202,27 @@ for stage in "${STAGES[@]}"; do
           --out "build/$preset/CHAOS.json" --error-exit
       done
       ;;
+    serve)
+      # The self-test exits nonzero when the serving path breaks any of its
+      # contracts; the framed round trip then exercises the wire protocol
+      # end to end and the verifier re-checks byte identity and the
+      # cache-hit ledger on the decoded frames.
+      for preset in release asan-ubsan; do
+        banner "configure+build rumr_serve [$preset]"
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target rumr_serve
+        banner "serve self-test [$preset]"
+        "./build/$preset/tools/rumr_serve" --self-test
+        banner "serve framed session round trip [$preset]"
+        "./build/$preset/tools/rumr_serve" --emit-demo-requests \
+          "build/$preset/serve_requests.bin"
+        "./build/$preset/tools/rumr_serve" --stdio \
+          < "build/$preset/serve_requests.bin" \
+          > "build/$preset/serve_responses.bin"
+        "./build/$preset/tools/rumr_serve" --verify-demo-responses \
+          "build/$preset/serve_responses.bin"
+      done
+      ;;
     perf)
       banner "configure+build perf gate [release]"
       cmake --preset release
@@ -205,7 +234,7 @@ for stage in "${STAGES[@]}"; do
         --threshold 0.20 --history results/BENCH_history.jsonl
       ;;
     *)
-      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|race|chaos|perf)" >&2
+      echo "unknown stage '$stage' (release|asan-ubsan|tsan|tidy|lint|metrics|jobs|sweep|race|chaos|serve|perf)" >&2
       exit 2
       ;;
   esac

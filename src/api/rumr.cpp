@@ -757,4 +757,74 @@ std::vector<race::RaceCell> Sweep::execute_race() const {
   return cells;
 }
 
+// --- Serve builder -----------------------------------------------------------
+
+Serve::Serve() = default;
+
+Serve Serve::from_file(const std::string& path) {
+  Serve serve;
+  serve.options_ = serve::server_options_from_config(config::ConfigFile::load(path));
+  return serve;
+}
+
+Serve& Serve::threads(std::size_t n) {
+  options_.threads = n;
+  return *this;
+}
+
+Serve& Serve::batch_threads(std::size_t n) {
+  options_.batch_threads = n;
+  return *this;
+}
+
+Serve& Serve::cache_capacity(std::size_t entries) {
+  options_.cache_capacity = entries;
+  return *this;
+}
+
+Serve& Serve::cache_max_bytes(std::size_t bytes) {
+  options_.cache_max_bytes = bytes;
+  return *this;
+}
+
+Serve& Serve::cache_shards(std::size_t n) {
+  options_.cache_shards = n;
+  return *this;
+}
+
+Serve& Serve::queue_capacity(std::size_t n) {
+  options_.queue_capacity = n;
+  return *this;
+}
+
+Serve& Serve::discipline(jobs::QueueDiscipline discipline) {
+  options_.discipline = discipline;
+  return *this;
+}
+
+Serve& Serve::admission(jobs::AdmissionPolicy policy) {
+  options_.admission = policy;
+  return *this;
+}
+
+Serve& Serve::audit(bool on) {
+  options_.audit = on;
+  return *this;
+}
+
+std::vector<std::string> Serve::validate() const { return options_.validate(); }
+
+std::unique_ptr<serve::Server> Serve::make_server() const {
+  return std::make_unique<serve::Server>(options_);
+}
+
+obs::ServeStats Serve::run(std::istream& in, std::ostream& out) const {
+  serve::Server server(options_);
+  server.serve_stream(in, out);
+  server.wait_idle();
+  const obs::ServeStats stats = server.stats();
+  if (options_.audit) check::audit_serve_stats(stats, /*drained=*/true).throw_if_failed();
+  return stats;
+}
+
 }  // namespace rumr

@@ -43,6 +43,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,7 @@
 #include "check/check.hpp"
 #include "check/des_audit.hpp"
 #include "check/merge_audit.hpp"
+#include "check/serve_audit.hpp"
 #include "check/service_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "config/run_description.hpp"
@@ -76,6 +78,10 @@
 #include "report/jobs_io.hpp"
 #include "report/series.hpp"
 #include "report/table.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve_config.hpp"
+#include "serve/server.hpp"
 #include "sim/master_worker.hpp"
 #include "sim/trace.hpp"
 #include "sim/trace_json.hpp"
@@ -491,6 +497,75 @@ class Sweep {
   sweep::CellConsumer cell_consumer_;
   sweep::JobsCellConsumer jobs_consumer_;
   bool buffer_ = true;
+};
+
+/// Builder for the what-if scheduling server (serve/server.hpp): concurrent
+/// platform+workload+policy queries answered from a content-addressed plan
+/// cache, with request-level admission control in the jobs:: vocabulary.
+///
+///   std::istringstream in(framed_requests);
+///   std::ostringstream out;
+///   obs::ServeStats stats = rumr::Serve()
+///                               .threads(4)
+///                               .cache_capacity(1024)
+///                               .run(in, out);
+///   std::printf("%llu lookups, %llu hits\n",
+///               (unsigned long long)stats.plan_cache.lookups,
+///               (unsigned long long)stats.plan_cache.hits);
+///
+/// validate()/run() parity with the other builders: validate() returns every
+/// problem at once, construction throws std::invalid_argument carrying them.
+/// Every run() self-audits — the finished session's counter ledger is
+/// verified by check::audit_serve_stats (admitted + rejected + shed ==
+/// received, hits + misses == lookups, solves == misses, ...); a violation
+/// raises check::CheckError. Disable with .audit(false). Responses are a
+/// pure function of the request bytes: a warm-cache answer is byte-identical
+/// to the cold one.
+class Serve {
+ public:
+  /// Starts from the server defaults: auto-width executor, serial batches,
+  /// a 4096-entry / 64 MiB / 16-shard plan cache, a 64-deep FCFS queue with
+  /// reject-new admission, auditing on.
+  Serve();
+
+  /// Loads a [serve] description file (see serve/serve_config.hpp for the
+  /// schema). Throws config::ConfigError on parse problems.
+  [[nodiscard]] static Serve from_file(const std::string& path);
+
+  // Fluent setters ---------------------------------------------------------
+
+  Serve& threads(std::size_t n);        ///< Requests in service (0 = auto).
+  Serve& batch_threads(std::size_t n);  ///< Query fan-out per batch (0 = auto).
+  Serve& cache_capacity(std::size_t entries);
+  Serve& cache_max_bytes(std::size_t bytes);
+  Serve& cache_shards(std::size_t n);
+  Serve& queue_capacity(std::size_t n);
+  Serve& discipline(jobs::QueueDiscipline discipline);
+  Serve& admission(jobs::AdmissionPolicy policy);
+  /// Audit every solved plan and the finished session's ledger (default on).
+  Serve& audit(bool on = true);
+
+  /// The underlying options, for inspection or direct mutation.
+  [[nodiscard]] const serve::ServerOptions& options() const noexcept { return options_; }
+  [[nodiscard]] serve::ServerOptions& options() noexcept { return options_; }
+
+  // Validation and execution -----------------------------------------------
+
+  /// Every problem with the current description; empty = servable.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Builds a live server for programmatic submit()/handle() use. Throws
+  /// std::invalid_argument listing every validate() problem.
+  [[nodiscard]] std::unique_ptr<serve::Server> make_server() const;
+
+  /// Serves one framed session (read requests from `in`, write responses to
+  /// `out`) to drain, then returns the audited final statistics. Throws
+  /// std::invalid_argument on non-validating options and check::CheckError
+  /// on a ledger violation.
+  [[nodiscard]] obs::ServeStats run(std::istream& in, std::ostream& out) const;
+
+ private:
+  serve::ServerOptions options_{};
 };
 
 }  // namespace rumr

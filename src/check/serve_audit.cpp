@@ -1,0 +1,64 @@
+#include "check/serve_audit.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace rumr::check {
+
+namespace {
+
+/// Appends "name: lhs_desc (lhs) != rhs_desc (rhs)" style violations.
+void require_eq(AuditReport& report, std::uint64_t lhs, std::uint64_t rhs,
+                const char* identity) {
+  if (lhs == rhs) return;
+  std::ostringstream out;
+  out << "serve stats: " << identity << " violated (" << lhs << " != " << rhs << ")";
+  report.violations.push_back(out.str());
+}
+
+void require_le(AuditReport& report, std::uint64_t lhs, std::uint64_t rhs,
+                const char* identity) {
+  if (lhs <= rhs) return;
+  std::ostringstream out;
+  out << "serve stats: " << identity << " violated (" << lhs << " > " << rhs << ")";
+  report.violations.push_back(out.str());
+}
+
+}  // namespace
+
+AuditReport audit_serve_stats(const obs::ServeStats& stats, bool drained) {
+  AuditReport report;
+
+  // Request admission ledger: each received request lands in exactly one of
+  // the three terminal buckets.
+  require_eq(report, stats.admitted + stats.rejected + stats.shed, stats.received,
+             "admitted + rejected + shed == received");
+  require_le(report, stats.completed, stats.admitted, "completed <= admitted");
+  if (drained) {
+    require_eq(report, stats.completed, stats.admitted,
+               "completed == admitted (drained session)");
+  }
+
+  // Cache ledger.
+  const obs::CacheStats& c = stats.plan_cache;
+  require_eq(report, c.hits + c.misses, c.lookups, "hits + misses == lookups");
+  require_eq(report, c.insertions + c.collisions + c.failed_solves, c.misses,
+             "insertions + collisions + failed_solves == misses");
+  require_eq(report, c.entries + c.evictions, c.insertions,
+             "entries + evictions == insertions");
+  if (c.entries == 0 && c.bytes_cached != 0) {
+    report.violations.push_back(
+        "serve stats: cache holds bytes (" + std::to_string(c.bytes_cached) +
+        ") with zero resident entries");
+  }
+
+  // Query ledger: every well-formed query of an admitted request performs
+  // exactly one cache lookup, and every cold solve was triggered by a miss.
+  require_eq(report, c.lookups + stats.query_errors, stats.queries,
+             "lookups + query_errors == queries");
+  require_eq(report, stats.solves, c.misses, "solves == misses");
+
+  return report;
+}
+
+}  // namespace rumr::check

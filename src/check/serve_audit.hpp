@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file serve_audit.hpp
+/// Post-hoc invariant auditor for serve-session statistics.
+///
+/// The what-if server is itself an instance of the admission system it
+/// simulates, so its ledger is held to the same standard as the engines':
+///
+///   - request ledger: every received request ends in exactly one bucket —
+///     admitted + rejected + shed == received — and completed never exceeds
+///     admitted (== admitted once the session has drained);
+///   - cache ledger: hits + misses == lookups; every miss runs the solver
+///     exactly once (solves == misses) and installs exactly one entry unless
+///     it was a fingerprint collision or a failed solve
+///     (misses == insertions + collisions + failed_solves);
+///   - residency: entries + evictions == insertions, and a bounded cache
+///     carries bytes only while it carries entries;
+///   - query ledger: every well-formed query of an admitted request is
+///     exactly one cache lookup (queries == lookups + query_errors).
+///
+/// Consumes only the obs-layer record, so the auditor has no dependency on
+/// the serve subsystem itself (the same layering as the other auditors:
+/// check sits below the facades and above the primitives).
+
+#include "check/des_audit.hpp"
+#include "obs/metrics.hpp"
+
+namespace rumr::check {
+
+/// Audits one serve session's statistics snapshot. `drained` asserts the
+/// session is quiescent (no request in flight or queued), which upgrades
+/// completed <= admitted to completed == admitted. Returns the collected
+/// violations; empty means every identity held.
+[[nodiscard]] AuditReport audit_serve_stats(const obs::ServeStats& stats, bool drained = true);
+
+}  // namespace rumr::check

@@ -15,28 +15,6 @@ std::string lower(std::string text) {
   return text;
 }
 
-SharingPolicy parse_sharing(const std::string& name) {
-  if (name == "exclusive") return SharingPolicy::kExclusive;
-  if (name == "partitioned") return SharingPolicy::kPartitioned;
-  if (name == "fractional") return SharingPolicy::kFractional;
-  throw config::ConfigError(
-      "[jobs] sharing must be 'exclusive', 'partitioned', or 'fractional', got '" + name + "'");
-}
-
-QueueDiscipline parse_discipline(const std::string& name) {
-  if (name == "fcfs") return QueueDiscipline::kFcfs;
-  if (name == "sjf") return QueueDiscipline::kSjf;
-  if (name == "priority") return QueueDiscipline::kPriority;
-  throw config::ConfigError("[jobs] queue must be 'fcfs', 'sjf', or 'priority', got '" + name +
-                            "'");
-}
-
-AdmissionPolicy parse_admission(const std::string& name) {
-  if (name == "reject") return AdmissionPolicy::kRejectNew;
-  if (name == "shed") return AdmissionPolicy::kShedOldest;
-  throw config::ConfigError("[jobs] admission must be 'reject' or 'shed', got '" + name + "'");
-}
-
 SizeDistribution parse_size_distribution(const std::string& name) {
   if (name == "fixed") return SizeDistribution::kFixed;
   if (name == "uniform") return SizeDistribution::kUniform;
@@ -47,6 +25,27 @@ SizeDistribution parse_size_distribution(const std::string& name) {
 }
 
 }  // namespace
+
+SharingPolicy parse_sharing(const std::string& name) {
+  if (name == "exclusive") return SharingPolicy::kExclusive;
+  if (name == "partitioned") return SharingPolicy::kPartitioned;
+  if (name == "fractional") return SharingPolicy::kFractional;
+  throw config::ConfigError(
+      "sharing must be 'exclusive', 'partitioned', or 'fractional', got '" + name + "'");
+}
+
+QueueDiscipline parse_discipline(const std::string& name) {
+  if (name == "fcfs") return QueueDiscipline::kFcfs;
+  if (name == "sjf") return QueueDiscipline::kSjf;
+  if (name == "priority") return QueueDiscipline::kPriority;
+  throw config::ConfigError("queue must be 'fcfs', 'sjf', or 'priority', got '" + name + "'");
+}
+
+AdmissionPolicy parse_admission(const std::string& name) {
+  if (name == "reject") return AdmissionPolicy::kRejectNew;
+  if (name == "shed") return AdmissionPolicy::kShedOldest;
+  throw config::ConfigError("admission must be 'reject' or 'shed', got '" + name + "'");
+}
 
 JobsOptions jobs_options_from_config(const config::ConfigFile& file,
                                      const platform::StarPlatform& platform) {

@@ -41,6 +41,14 @@ struct JobsDescription {
   JobsOptions options{};
 };
 
+/// Name-to-enum parsers for the admission vocabulary (lower-case names, the
+/// inverse of jobs::to_string). Public because the serve daemon's [serve]
+/// section reuses the exact same vocabulary for request-level admission.
+/// Throw config::ConfigError naming the accepted values on unknown input.
+[[nodiscard]] SharingPolicy parse_sharing(const std::string& name);
+[[nodiscard]] QueueDiscipline parse_discipline(const std::string& name);
+[[nodiscard]] AdmissionPolicy parse_admission(const std::string& name);
+
 /// Parses the [jobs] section (plus [schedule]/[simulation]/[faults]) into
 /// engine options for the given platform. Throws config::ConfigError on bad
 /// enum values or missing requirements.

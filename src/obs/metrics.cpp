@@ -184,6 +184,38 @@ std::string to_json(const RunMetrics& m) {
   return out.str();
 }
 
+void CacheStats::merge(const CacheStats& other) noexcept {
+  lookups += other.lookups;
+  hits += other.hits;
+  misses += other.misses;
+  insertions += other.insertions;
+  evictions += other.evictions;
+  collisions += other.collisions;
+  failed_solves += other.failed_solves;
+  entries += other.entries;
+  bytes_cached += other.bytes_cached;
+}
+
+std::string to_json(const ServeStats& s) {
+  std::ostringstream out;
+  out << "{\"received\":" << s.received << ",\"admitted\":" << s.admitted
+      << ",\"rejected\":" << s.rejected << ",\"shed\":" << s.shed
+      << ",\"completed\":" << s.completed
+      << ",\"queue_depth_high_water\":" << s.queue_depth_high_water
+      << ",\"queries\":" << s.queries << ",\"query_errors\":" << s.query_errors
+      << ",\"solves\":" << s.solves << ",\"protocol_errors\":" << s.protocol_errors
+      << ",\"plan_cache\":{"
+      << "\"lookups\":" << s.plan_cache.lookups << ",\"hits\":" << s.plan_cache.hits
+      << ",\"misses\":" << s.plan_cache.misses
+      << ",\"insertions\":" << s.plan_cache.insertions
+      << ",\"evictions\":" << s.plan_cache.evictions
+      << ",\"collisions\":" << s.plan_cache.collisions
+      << ",\"failed_solves\":" << s.plan_cache.failed_solves
+      << ",\"entries\":" << s.plan_cache.entries
+      << ",\"bytes_cached\":" << s.plan_cache.bytes_cached << "}}";
+  return out.str();
+}
+
 std::string to_json(const JobsStats& s) {
   std::ostringstream out;
   out << "{\"arrived\":" << s.arrived << ",\"admitted\":" << s.admitted

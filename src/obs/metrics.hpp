@@ -217,9 +217,68 @@ struct JobsStats {
   Histogram job_sizes;       ///< Workload units of every arrived job.
 };
 
+/// Content-addressed cache accounting (the serve plan cache). Counters obey
+/// the identities check::audit_serve_stats enforces:
+///
+///   hits + misses == lookups
+///   misses == insertions + collisions + failed_solves
+///   entries + evictions == insertions
+///
+/// A *hit* is a lookup that found the key resident or in flight (a waiter on
+/// an in-flight solve is a hit: the solve runs exactly once per key). A
+/// *miss* runs the solver exactly once and installs exactly one entry —
+/// unless the 64-bit FNV-1a fingerprint collided with a different canonical
+/// key (solved uncached, counted in `collisions`) or the solver threw
+/// (nothing installed, counted in `failed_solves`). A zero-capacity cache
+/// still inserts and immediately evicts, so the identities hold in
+/// pass-through mode too.
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t collisions = 0;    ///< Fingerprint collisions (solved uncached).
+  std::uint64_t failed_solves = 0; ///< Solver threw; no entry was installed.
+  std::uint64_t entries = 0;       ///< Currently resident entries.
+  std::uint64_t bytes_cached = 0;  ///< Currently resident payload + key bytes.
+
+  /// Folds another shard's counters in (exact integer addition).
+  void merge(const CacheStats& other) noexcept;
+};
+
+/// Admission and execution ledger for one serve session (the what-if
+/// server). Request-level counters follow the jobs-layer vocabulary: every
+/// received request ends in exactly one of {admitted, rejected, shed} —
+/// audited as admitted + rejected + shed == received — and completed counts
+/// admitted requests whose response was produced (== admitted once the
+/// session drains). Query-level counters split each batch into its queries.
+struct ServeStats {
+  // Request (frame) admission ledger.
+  std::uint64_t received = 0;
+  std::uint64_t admitted = 0;   ///< Dispatched to a worker.
+  std::uint64_t rejected = 0;   ///< Turned away at a full queue (reject-new).
+  std::uint64_t shed = 0;       ///< Dropped from the queue unserved (shed-oldest).
+  std::uint64_t completed = 0;  ///< Responses produced for admitted requests.
+  std::uint64_t queue_depth_high_water = 0;  ///< Largest pending-queue size.
+
+  // Query execution ledger (a batch request carries many queries).
+  std::uint64_t queries = 0;        ///< Queries received inside admitted requests.
+  std::uint64_t query_errors = 0;   ///< Queries rejected before solving (bad input).
+  std::uint64_t solves = 0;         ///< Cold solves actually executed.
+  std::uint64_t protocol_errors = 0;  ///< Requests whose payload failed to parse.
+
+  /// Plan-cache accounting. queries - query_errors == plan_cache.lookups
+  /// (every well-formed query is exactly one cache lookup).
+  CacheStats plan_cache;
+};
+
 /// Serializes a RunMetrics as a single JSON object (stable key order, full
 /// precision, non-finite values as null — valid JSON always).
 [[nodiscard]] std::string to_json(const RunMetrics& metrics);
+
+/// Serializes a ServeStats the same way.
+[[nodiscard]] std::string to_json(const ServeStats& stats);
 
 /// Serializes a JobsStats the same way.
 [[nodiscard]] std::string to_json(const JobsStats& stats);

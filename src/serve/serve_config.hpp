@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file serve_config.hpp
+/// Configuration-file bridge for the what-if scheduling server.
+///
+/// Schema (all keys optional; defaults are the ServerOptions defaults):
+///
+///   [serve]
+///   threads = 0             ; concurrent requests in service (0 = auto)
+///   batch_threads = 1       ; query fan-out inside one batch (0 = auto)
+///   cache_capacity = 4096   ; plan-cache entries (0 = pass-through)
+///   cache_bytes = 67108864  ; plan-cache resident-byte budget
+///   cache_shards = 16       ; plan-cache mutex stripes
+///   queue = fcfs            ; fcfs | sjf | priority
+///   admission = reject      ; reject | shed
+///   queue_capacity = 64     ; waiting requests beyond in-service
+///   audit = true            ; audit every solved plan
+///
+/// The queue/admission vocabulary is jobs_config's, parsed by the same
+/// public jobs::parse_discipline / jobs::parse_admission helpers — the
+/// server is an instance of the admission system the library simulates.
+
+#include "config/config_file.hpp"
+#include "serve/server.hpp"
+
+namespace rumr::serve {
+
+/// Parses the [serve] section into server options. Throws
+/// config::ConfigError on bad enum values or unparseable numbers.
+[[nodiscard]] ServerOptions server_options_from_config(const config::ConfigFile& file);
+
+}  // namespace rumr::serve
